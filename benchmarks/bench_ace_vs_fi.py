@@ -1,0 +1,54 @@
+"""ABL-ACE — the paper's ACE-vs-FI accuracy / analysis-time trade-off.
+
+Section III: "for the register file the ACE analysis significantly
+overestimates vulnerability compared to FI, [while] the same technique
+is very accurate ... for the local memory", and ACE needs one traced
+golden run where FI needs a whole campaign. Two benchmarks measure the
+two analysis costs separately; the printed table shows the accuracy
+ratios.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_samples, bench_scale
+from repro.arch.scaling import get_scaled_gpu
+from repro.kernels.registry import get_workload
+from repro.reliability.fi import run_fi_campaign, run_golden
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
+
+GPU = "gtx480"
+WORKLOAD = "matrixMul"
+
+
+def test_ace_analysis_time(benchmark):
+    """Cost of ACE: exactly one traced golden run."""
+    config = get_scaled_gpu(GPU)
+    workload = get_workload(WORKLOAD, bench_scale())
+    golden = benchmark.pedantic(
+        lambda: run_golden(config, workload), rounds=1, iterations=1
+    )
+    print(f"\nACE (one traced run): regfile AVF={golden.ace.avf(REGISTER_FILE):.3f} "
+          f"localmem AVF={golden.ace.avf(LOCAL_MEMORY):.3f}")
+    benchmark.extra_info["avf_ace_regfile"] = round(golden.ace.avf(REGISTER_FILE), 4)
+
+
+def test_fi_campaign_time_and_overestimation(benchmark):
+    """Cost of FI + the ACE/FI overestimation ratios."""
+    config = get_scaled_gpu(GPU)
+    workload = get_workload(WORKLOAD, bench_scale())
+    samples = bench_samples()
+    golden = run_golden(config, workload)
+
+    output = benchmark.pedantic(
+        lambda: run_fi_campaign(config, workload, golden, samples=samples, seed=1),
+        rounds=1, iterations=1,
+    )
+    print(f"\nACE vs FI on {config.name} / {WORKLOAD} (n={samples}):")
+    for structure in (REGISTER_FILE, LOCAL_MEMORY):
+        fi = output.estimates[structure].avf
+        ace = golden.ace.avf(structure)
+        ratio = ace / fi if fi else float("inf")
+        print(f"  {structure:<14} FI={fi:6.3f} ACE={ace:6.3f} ACE/FI={ratio:5.2f}")
+        benchmark.extra_info[structure] = {
+            "fi": round(fi, 4), "ace": round(ace, 4),
+        }

@@ -1,0 +1,39 @@
+"""FIG1 — regenerate the paper's Fig. 1 rows (register-file AVF).
+
+One benchmark per chip: runs the FI + ACE campaign over the benchmark
+subset and prints the (AVF-FI, AVF-ACE, occupancy) triples the figure
+plots. Timing measures the full campaign (golden runs + pruning +
+re-simulations), i.e. the cost a GUFI/SIFI user would pay.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.reliability.campaign import run_cell
+from repro.sim.faults import REGISTER_FILE
+
+WORKLOADS = ["matrixMul", "reduction", "kmeans"]
+
+
+def test_fig1_register_file_avf(benchmark, scaled_gpu):
+    samples = bench_samples()
+    scale = bench_scale()
+    workloads = bench_workloads(WORKLOADS)
+
+    def campaign():
+        return [
+            run_cell(scaled_gpu, name, scale=scale, samples=samples,
+                     seed=1, structures=(REGISTER_FILE,))
+            for name in workloads
+        ]
+
+    cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print(f"\nFig.1 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")
+    for cell in cells:
+        fi = cell.avf_fi(REGISTER_FILE)
+        ace = cell.avf_ace(REGISTER_FILE)
+        occ = cell.occupancy[REGISTER_FILE]
+        print(f"  {cell.workload:<12} AVF-FI={fi:6.3f}  AVF-ACE={ace:6.3f}  occ={occ:6.3f}")
+        benchmark.extra_info[cell.workload] = {
+            "avf_fi": round(fi, 4), "avf_ace": round(ace, 4), "occ": round(occ, 4),
+        }

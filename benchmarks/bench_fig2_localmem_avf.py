@@ -1,0 +1,41 @@
+"""FIG2 — regenerate the paper's Fig. 2 rows (local-memory AVF).
+
+Covers local-memory-using benchmarks only, as in the paper. The
+finding to observe in the printed rows: AVF-ACE tracks AVF-FI closely
+for this structure (unlike Fig. 1).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.reliability.campaign import run_cell
+from repro.sim.faults import LOCAL_MEMORY
+
+WORKLOADS = ["matrixMul", "scan", "histogram"]
+
+
+def test_fig2_local_memory_avf(benchmark, scaled_gpu):
+    samples = bench_samples()
+    scale = bench_scale()
+    workloads = [
+        name for name in bench_workloads(WORKLOADS)
+        if name not in ("gaussian", "kmeans", "vectoradd")
+    ]
+
+    def campaign():
+        return [
+            run_cell(scaled_gpu, name, scale=scale, samples=samples,
+                     seed=1, structures=(LOCAL_MEMORY,))
+            for name in workloads
+        ]
+
+    cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print(f"\nFig.2 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")
+    for cell in cells:
+        fi = cell.avf_fi(LOCAL_MEMORY)
+        ace = cell.avf_ace(LOCAL_MEMORY)
+        occ = cell.occupancy[LOCAL_MEMORY]
+        print(f"  {cell.workload:<12} AVF-FI={fi:6.3f}  AVF-ACE={ace:6.3f}  occ={occ:6.3f}")
+        benchmark.extra_info[cell.workload] = {
+            "avf_fi": round(fi, 4), "avf_ace": round(ace, 4), "occ": round(occ, 4),
+        }

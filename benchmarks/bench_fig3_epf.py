@@ -1,0 +1,43 @@
+"""FIG3 — regenerate the paper's Fig. 3 rows (Executions Per Failure).
+
+EPF needs both structures' AVF-FI plus the cycle count, so this is the
+complete per-chip campaign. Printed rows are the log-scale series of
+the figure; the expected band is roughly 10^12..10^17.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.reliability.campaign import run_cell
+from repro.sim.faults import STRUCTURES
+
+WORKLOADS = ["vectoradd", "matrixMul"]
+
+
+def test_fig3_epf(benchmark, scaled_gpu):
+    samples = bench_samples()
+    scale = bench_scale()
+    workloads = bench_workloads(WORKLOADS)
+
+    def campaign():
+        return [
+            run_cell(scaled_gpu, name, scale=scale, samples=samples,
+                     seed=1, structures=STRUCTURES)
+            for name in workloads
+        ]
+
+    cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print(f"\nFig.3 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")
+    for cell in cells:
+        epf = cell.epf.epf
+        log_epf = math.log10(epf) if math.isfinite(epf) else float("inf")
+        print(
+            f"  {cell.workload:<12} EPF={epf:12.3e} (log10={log_epf:5.2f}) "
+            f"FIT={cell.epf.fit_gpu:8.1f} cycles={cell.cycles}"
+        )
+        benchmark.extra_info[cell.workload] = {
+            "epf": f"{epf:.3e}", "fit": round(cell.epf.fit_gpu, 2),
+            "cycles": cell.cycles,
+        }

@@ -1,0 +1,28 @@
+"""TAB-STAT — the paper's statistical-sampling footnote.
+
+Footnote 4: "We simulated 2,000 fault injections per hardware
+structure, which statistically provides 2.88% error margin for 99%
+confidence level." This bench reproduces that number and prints the
+margin table for other campaign sizes.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.sampling import margin_of_error, required_samples
+
+
+def test_sampling_margin_table(benchmark):
+    def table():
+        return {
+            n: margin_of_error(n, confidence=0.99)
+            for n in (50, 100, 250, 500, 1000, 2000, 5000)
+        }
+
+    margins = benchmark(table)
+    print("\nInjections -> 99%-confidence error margin:")
+    for n, margin in margins.items():
+        marker = "  <- paper" if n == 2000 else ""
+        print(f"  n={n:<6} e={margin * 100:5.2f}%{marker}")
+    assert abs(margins[2000] - 0.0288) < 2e-4
+    benchmark.extra_info["paper_margin_at_2000"] = round(margins[2000], 5)
+    benchmark.extra_info["samples_for_2.88pct"] = required_samples(0.0288)

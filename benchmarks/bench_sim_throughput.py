@@ -1,0 +1,49 @@
+"""PERF-SIM — simulator throughput (harness health, not a paper figure).
+
+Measures warp-instructions per second for both core models on a
+benchmark kernel, so performance regressions in the simulators are
+visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import get_scaled_gpu
+from repro.kernels.registry import get_workload
+from repro.kernels.workload import run_workload
+from repro.sim.gpu import Gpu
+
+
+def _throughput(benchmark, gpu_alias: str):
+    config = get_scaled_gpu(gpu_alias)
+    workload = get_workload("matrixMul", "small")
+
+    def run():
+        gpu = Gpu(config)
+        run_workload(gpu, workload)
+        return gpu
+
+    gpu = benchmark(run)
+    instructions = gpu.instructions_issued
+    per_second = instructions / benchmark.stats["mean"]
+    print(f"\n{config.name}: {instructions} warp-instructions "
+          f"({per_second / 1e3:.1f}k winstr/s)")
+    benchmark.extra_info["warp_instructions"] = instructions
+
+
+def test_sass_core_throughput(benchmark):
+    _throughput(benchmark, "gtx480")
+
+
+def test_si_core_throughput(benchmark):
+    _throughput(benchmark, "hd7970")
+
+
+def test_traced_run_overhead(benchmark):
+    """Golden runs with ACE+occupancy tracing attached (FI prep cost)."""
+    from repro.reliability.fi import run_golden
+    config = get_scaled_gpu("gtx480")
+    workload = get_workload("matrixMul", "small")
+    golden = benchmark.pedantic(
+        lambda: run_golden(config, workload), rounds=2, iterations=1
+    )
+    assert golden.cycles > 0

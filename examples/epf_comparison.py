@@ -1,0 +1,42 @@
+"""EPF comparison: the paper's Fig. 3 combined reliability-performance
+metric across all four chips on one benchmark.
+
+EPF = EIT / FIT ranks chips differently than AVF alone: a chip with a
+bigger (hence more fault-prone) register file can still win on EPF by
+finishing executions faster. Run on vectoradd for a quick demo.
+
+Run:  python examples/epf_comparison.py
+"""
+
+from repro import LOCAL_MEMORY, REGISTER_FILE, list_scaled_gpus, run_cell
+from repro.reliability.report import format_epf_figure
+
+BENCHMARK = "vectoradd"
+
+
+def main() -> None:
+    cells = []
+    for config in list_scaled_gpus():
+        print(f"running {config.name} / {BENCHMARK} ...", flush=True)
+        cells.append(
+            run_cell(config, BENCHMARK, scale="small", samples=150, seed=0)
+        )
+
+    print()
+    print(format_epf_figure(cells, f"EPF on {BENCHMARK} (mini Fig. 3)"))
+
+    print("ingredients:")
+    for cell in cells:
+        epf = cell.epf
+        print(f"  {cell.gpu:<26} t_exec={epf.t_exec_s * 1e6:8.2f}us  "
+              f"EIT={epf.eit:.2e}  "
+              f"FIT(rf)={epf.fit_by_structure[REGISTER_FILE]:8.1f}  "
+              f"FIT(lm)={epf.fit_by_structure[LOCAL_MEMORY]:8.1f}  "
+              f"EPF={epf.epf:.2e}")
+
+    best = max(cells, key=lambda c: c.epf.epf)
+    print(f"\nmost executions per failure: {best.gpu}")
+
+
+if __name__ == "__main__":
+    main()

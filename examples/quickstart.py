@@ -1,0 +1,54 @@
+"""Quickstart: run one benchmark on a simulated GPU and measure its AVF.
+
+This walks the whole public API in ~40 lines:
+
+1. pick a chip (the paper's GeForce GTX 480, scaled preset),
+2. run the matrixMul benchmark fault-free and validate its outputs,
+3. run one combined reliability cell (fault injection + ACE analysis +
+   occupancy + EPF) and print the numbers the paper's figures plot.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LOCAL_MEMORY,
+    REGISTER_FILE,
+    Gpu,
+    get_scaled_gpu,
+    get_workload,
+    run_cell,
+    run_workload,
+    verify_against_reference,
+)
+
+
+def main() -> None:
+    config = get_scaled_gpu("gtx480")
+    print(f"Chip: {config.describe()}")
+
+    # --- 1. plain simulation --------------------------------------------
+    workload = get_workload("matrixMul", scale="small")
+    result = run_workload(Gpu(config), workload)
+    problems = verify_against_reference(workload, result.outputs)
+    print(f"\nmatrixMul: {result.cycles} cycles "
+          f"({result.cycles / config.shader_clock_hz * 1e6:.1f} us simulated)")
+    print(f"functional check vs numpy reference: "
+          f"{'PASS' if not problems else problems}")
+
+    # --- 2. reliability cell --------------------------------------------
+    print("\nRunning FI + ACE campaign (200 injections/structure)...")
+    cell = run_cell(config, "matrixMul", scale="small", samples=200, seed=0)
+    for structure in (REGISTER_FILE, LOCAL_MEMORY):
+        estimate = cell.fi[structure]
+        print(f"  {structure:<14} AVF-FI={estimate.avf:6.3f} "
+              f"(+/-{estimate.margin:.3f} @99%)  "
+              f"AVF-ACE={cell.ace[structure]:6.3f}  "
+              f"occupancy={cell.occupancy[structure]:6.3f}  "
+              f"[SDC={estimate.sdc} DUE={estimate.due} "
+              f"pruned={estimate.pruned}/{estimate.samples}]")
+    print(f"\n  EPF = {cell.epf.epf:.3e} executions per failure "
+          f"(FIT_GPU = {cell.epf.fit_gpu:.1f})")
+
+
+if __name__ == "__main__":
+    main()

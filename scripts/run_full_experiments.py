@@ -1,0 +1,86 @@
+"""Run the complete evaluation matrix once and emit all three figures.
+
+Fig. 1, Fig. 2 and Fig. 3 share the same (GPU x benchmark) cells, so a
+single matrix run with both structures regenerates everything; this is
+what EXPERIMENTS.md records. Usage::
+
+    python scripts/run_full_experiments.py [samples] [scale] [outdir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.reliability.campaign import run_matrix
+from repro.reliability.report import (
+    format_ace_vs_fi,
+    format_avf_figure,
+    format_epf_figure,
+    write_cells_csv,
+)
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
+
+
+def main() -> int:
+    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    outdir = sys.argv[3] if len(sys.argv) > 3 else "results"
+
+    from pathlib import Path
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    start = time.time()
+
+    def progress(cell):
+        print(
+            f"[{time.time() - start:7.1f}s] {cell.gpu:<26} {cell.workload:<12} "
+            f"cycles={cell.cycles:<8} rf_fi={cell.avf_fi(REGISTER_FILE):.3f} "
+            f"rf_ace={cell.avf_ace(REGISTER_FILE):.3f} "
+            f"lm_fi={cell.avf_fi(LOCAL_MEMORY):.3f} "
+            f"epf={cell.epf.epf:.2e}",
+            flush=True,
+        )
+
+    cells = run_matrix(
+        gpus=list_scaled_gpus(),
+        scale=scale,
+        samples=samples,
+        seed=1,
+        structures=(REGISTER_FILE, LOCAL_MEMORY),
+        progress=progress,
+    )
+
+    write_cells_csv(cells, out / "cells.csv")
+    fig1 = format_avf_figure(
+        cells, REGISTER_FILE,
+        "Fig. 1 - Register File AVF (fault injection vs ACE analysis)",
+    )
+    fig2 = format_avf_figure(
+        [c for c in cells if c.uses_local_memory], LOCAL_MEMORY,
+        "Fig. 2 - Local Memory AVF (fault injection vs ACE analysis)",
+    )
+    fig3 = format_epf_figure(cells)
+    ace = format_ace_vs_fi(cells)
+    for name, text in (("fig1.txt", fig1), ("fig2.txt", fig2),
+                       ("fig3.txt", fig3), ("ace_vs_fi.txt", ace)):
+        (out / name).write_text(text + "\n")
+        print("\n" + text, flush=True)
+
+    meta = {
+        "samples": samples,
+        "scale": scale,
+        "seed": 1,
+        "wall_time_s": round(time.time() - start, 1),
+        "cells": len(cells),
+    }
+    (out / "meta.json").write_text(json.dumps(meta, indent=2))
+    print(f"\ndone in {meta['wall_time_s']}s -> {out}/", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

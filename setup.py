@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation`` needs bdist_wheel unless the
+legacy setup.py code path is available; this file provides it. All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

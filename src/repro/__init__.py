@@ -1,0 +1,95 @@
+"""repro — microarchitecture-level GPU reliability comparison.
+
+A full-stack Python reproduction of Vallero, Di Carlo, Tselonis and
+Gizopoulos, "Microarchitecture Level Reliability Comparison of Modern
+GPU Designs: First Findings" (ISPASS 2017): two GPU microarchitectural
+simulators (SASS-level NVIDIA SMs and Southern-Islands AMD CUs), a
+ten-benchmark cross-vendor suite, statistical fault injection, ACE
+lifetime analysis, occupancy measurement and the EPF combined metric.
+
+Quickstart::
+
+    from repro import get_scaled_gpu, get_workload, run_cell
+
+    cell = run_cell(get_scaled_gpu("gtx480"), "matrixMul",
+                    scale="small", samples=200)
+    print(cell.avf_fi("register_file"), cell.avf_ace("register_file"))
+    print(cell.epf.epf)
+"""
+
+from repro.arch import (
+    GPU_PRESETS,
+    GpuConfig,
+    LatencyModel,
+    SCALED_GPU_PRESETS,
+    get_gpu,
+    get_scaled_gpu,
+    list_gpus,
+    list_scaled_gpus,
+)
+from repro.errors import (
+    AssemblyError,
+    ConfigError,
+    LaunchError,
+    MemoryFault,
+    ReproError,
+    SimFault,
+    WatchdogTimeout,
+)
+from repro.kernels import (
+    KERNEL_NAMES,
+    RunResult,
+    Workload,
+    get_workload,
+    list_workloads,
+    run_workload,
+    verify_against_reference,
+)
+from repro.reliability import (
+    AceMode,
+    AvfEstimate,
+    CellResult,
+    EpfResult,
+    Outcome,
+    RAW_FIT_PER_BIT,
+    compute_epf,
+    margin_of_error,
+    required_samples,
+    run_cell,
+    run_fi_campaign,
+    run_golden,
+    run_matrix,
+)
+from repro.sim import (
+    FaultPlan,
+    Gpu,
+    LOCAL_MEMORY,
+    LaunchConfig,
+    REGISTER_FILE,
+    pack_params,
+    sample_faults,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # chips
+    "GpuConfig", "LatencyModel", "GPU_PRESETS", "SCALED_GPU_PRESETS",
+    "get_gpu", "get_scaled_gpu", "list_gpus", "list_scaled_gpus",
+    # simulator
+    "Gpu", "LaunchConfig", "pack_params",
+    "FaultPlan", "sample_faults", "REGISTER_FILE", "LOCAL_MEMORY",
+    # benchmarks
+    "KERNEL_NAMES", "Workload", "RunResult",
+    "get_workload", "list_workloads", "run_workload",
+    "verify_against_reference",
+    # reliability
+    "run_cell", "run_matrix", "run_golden", "run_fi_campaign",
+    "CellResult", "AvfEstimate", "AceMode", "Outcome",
+    "compute_epf", "EpfResult", "RAW_FIT_PER_BIT",
+    "margin_of_error", "required_samples",
+    # errors
+    "ReproError", "ConfigError", "AssemblyError", "LaunchError",
+    "SimFault", "MemoryFault", "WatchdogTimeout",
+]

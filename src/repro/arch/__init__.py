@@ -1,0 +1,36 @@
+"""Chip configurations for the four GPUs compared in the paper."""
+
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.arch.presets import (
+    GEFORCE_GTX_480,
+    GPU_ALIASES,
+    GPU_PRESETS,
+    HD_RADEON_7970,
+    QUADRO_FX_5600,
+    QUADRO_FX_5800,
+    get_gpu,
+    list_gpus,
+)
+from repro.arch.scaling import (
+    SCALED_GPU_PRESETS,
+    get_scaled_gpu,
+    list_scaled_gpus,
+    scaled_config,
+)
+
+__all__ = [
+    "GpuConfig",
+    "LatencyModel",
+    "GPU_PRESETS",
+    "GPU_ALIASES",
+    "SCALED_GPU_PRESETS",
+    "HD_RADEON_7970",
+    "QUADRO_FX_5600",
+    "QUADRO_FX_5800",
+    "GEFORCE_GTX_480",
+    "get_gpu",
+    "list_gpus",
+    "get_scaled_gpu",
+    "list_scaled_gpus",
+    "scaled_config",
+]

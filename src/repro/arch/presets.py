@@ -1,0 +1,157 @@
+"""The four GPU chips compared in the paper.
+
+Numbers come from the vendor datasheets / the configurations shipped with
+GPGPU-Sim 3.2.2 (G80 = Quadro FX 5600, GT200 = Quadro FX 5800, Fermi =
+GTX 480) and Multi2Sim 4.2 (Southern Islands = HD Radeon 7970):
+
+* **Quadro FX 5600** (G80): 16 SMs, 8,192 x 32-bit registers and 16 KiB
+  shared memory per SM, warp 32, <= 768 threads / 24 warps / 8 blocks per
+  SM, shader clock 1.35 GHz, one scheduler pumping a warp over 4 cycles.
+* **Quadro FX 5800** (GT200): 30 SMs, 16,384 registers, 16 KiB shared,
+  <= 1,024 threads / 32 warps / 8 blocks per SM, 1.30 GHz.
+* **GeForce GTX 480** (Fermi GF100): 15 SMs, 32,768 registers, 48 KiB
+  shared, <= 1,536 threads / 48 warps / 8 blocks per SM, 1.40 GHz, two
+  schedulers, faster memory path.
+* **HD Radeon 7970** (Southern Islands, Tahiti): 32 CUs, 64 KiB vector
+  register file per CU (256 VGPRs x 64 lanes x 4 B = 65,536 words) and
+  64 KiB LDS per CU, wavefront 64, <= 2,560 work-items / 40 wavefronts /
+  16 workgroups per CU, 925 MHz, 4 SIMD units of 16 lanes.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.errors import ConfigError
+
+QUADRO_FX_5600 = GpuConfig(
+    name="Quadro FX 5600",
+    vendor="nvidia",
+    isa="sass",
+    microarchitecture="G80",
+    num_cores=16,
+    warp_size=32,
+    registers_per_core=8192,
+    local_memory_bytes=16 * 1024,
+    max_threads_per_core=768,
+    max_blocks_per_core=8,
+    max_warps_per_core=24,
+    shader_clock_hz=1.35e9,
+    register_allocation_unit=256,   # G80 allocates regs in 256-word chunks
+    local_allocation_unit=512,
+    num_schedulers=1,
+    latency=LatencyModel(
+        issue_cycles=4, alu=10, mul=12, sfu=28, shared=30,
+        global_mem=320, branch=6, barrier=4, uncoalesced_penalty=16,
+    ),
+)
+
+QUADRO_FX_5800 = GpuConfig(
+    name="Quadro FX 5800",
+    vendor="nvidia",
+    isa="sass",
+    microarchitecture="GT200",
+    num_cores=30,
+    warp_size=32,
+    registers_per_core=16384,
+    local_memory_bytes=16 * 1024,
+    max_threads_per_core=1024,
+    max_blocks_per_core=8,
+    max_warps_per_core=32,
+    shader_clock_hz=1.296e9,
+    register_allocation_unit=512,
+    local_allocation_unit=512,
+    num_schedulers=1,
+    latency=LatencyModel(
+        issue_cycles=4, alu=10, mul=10, sfu=24, shared=26,
+        global_mem=280, branch=6, barrier=4, uncoalesced_penalty=12,
+    ),
+)
+
+GEFORCE_GTX_480 = GpuConfig(
+    name="GeForce GTX 480",
+    vendor="nvidia",
+    isa="sass",
+    microarchitecture="Fermi",
+    num_cores=15,
+    warp_size=32,
+    registers_per_core=32768,
+    local_memory_bytes=48 * 1024,
+    max_threads_per_core=1536,
+    max_blocks_per_core=8,
+    max_warps_per_core=48,
+    shader_clock_hz=1.401e9,
+    max_registers_per_thread=63,    # Fermi caps threads at 63 regs
+    register_allocation_unit=64,
+    local_allocation_unit=128,
+    num_schedulers=2,
+    latency=LatencyModel(
+        issue_cycles=2, alu=9, mul=9, sfu=18, shared=22,
+        global_mem=220, branch=4, barrier=3, uncoalesced_penalty=8,
+    ),
+)
+
+HD_RADEON_7970 = GpuConfig(
+    name="HD Radeon 7970",
+    vendor="amd",
+    isa="si",
+    microarchitecture="Southern Islands",
+    num_cores=32,
+    warp_size=64,
+    registers_per_core=65536,       # 256 VGPRs x 64 lanes (32-bit words)
+    local_memory_bytes=64 * 1024,
+    max_threads_per_core=2560,
+    max_blocks_per_core=16,
+    max_warps_per_core=40,
+    shader_clock_hz=0.925e9,
+    max_registers_per_thread=256,
+    register_allocation_unit=1024,  # VGPRs granted 4-at-a-time x 64 lanes x 4
+    local_allocation_unit=256,
+    num_schedulers=4,               # one per SIMD unit
+    latency=LatencyModel(
+        issue_cycles=4, alu=8, mul=8, sfu=16, shared=24,
+        global_mem=240, branch=4, barrier=4, uncoalesced_penalty=8,
+    ),
+)
+
+#: All chips evaluated in the paper, in the figures' left-to-right order.
+GPU_PRESETS: dict[str, GpuConfig] = {
+    "HD Radeon 7970": HD_RADEON_7970,
+    "Quadro FX 5600": QUADRO_FX_5600,
+    "Quadro FX 5800": QUADRO_FX_5800,
+    "GeForce GTX 480": GEFORCE_GTX_480,
+}
+
+#: Short aliases accepted by :func:`get_gpu` and the CLI.
+GPU_ALIASES: dict[str, str] = {
+    "hd7970": "HD Radeon 7970",
+    "radeon7970": "HD Radeon 7970",
+    "tahiti": "HD Radeon 7970",
+    "si": "HD Radeon 7970",
+    "fx5600": "Quadro FX 5600",
+    "g80": "Quadro FX 5600",
+    "fx5800": "Quadro FX 5800",
+    "gt200": "Quadro FX 5800",
+    "gtx480": "GeForce GTX 480",
+    "fermi": "GeForce GTX 480",
+}
+
+
+def get_gpu(name: str) -> GpuConfig:
+    """Look up a chip by full name or alias (case/space-insensitive)."""
+    if name in GPU_PRESETS:
+        return GPU_PRESETS[name]
+    key = name.lower().replace(" ", "").replace("_", "").replace("-", "")
+    if key in GPU_ALIASES:
+        return GPU_PRESETS[GPU_ALIASES[key]]
+    for full in GPU_PRESETS:
+        if full.lower().replace(" ", "") == key:
+            return GPU_PRESETS[full]
+    raise ConfigError(
+        f"unknown GPU {name!r}; known: {', '.join(GPU_PRESETS)} "
+        f"(aliases: {', '.join(sorted(GPU_ALIASES))})"
+    )
+
+
+def list_gpus() -> list[GpuConfig]:
+    """The four chips in canonical (paper) order."""
+    return list(GPU_PRESETS.values())

@@ -1,0 +1,90 @@
+"""Bit-level helpers shared by the simulators and the reliability engine.
+
+All architectural storage in the simulators is 32-bit words held in numpy
+``uint32`` arrays; these helpers convert between Python/NumPy numeric views
+and raw bit patterns, and flip individual bits, without ever losing bit
+fidelity (important: a fault-injection framework must be bit-exact).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+
+
+def u32(value: int) -> int:
+    """Wrap an arbitrary Python int to an unsigned 32-bit value."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a u32 bit pattern as a signed 32-bit integer."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def from_signed(value: int) -> int:
+    """Encode a (possibly negative) Python int as a u32 bit pattern."""
+    return value & WORD_MASK
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 binary32 bit pattern of ``value`` (round-to-nearest)."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(pattern: int) -> float:
+    """The float32 value whose bit pattern is ``pattern``."""
+    return struct.unpack("<f", struct.pack("<I", pattern & WORD_MASK))[0]
+
+
+def flip_bit(word: int, bit: int) -> int:
+    """Return ``word`` with bit index ``bit`` (0 = LSB) inverted."""
+    if not 0 <= bit < WORD_BITS:
+        raise ValueError(f"bit index {bit} outside 0..{WORD_BITS - 1}")
+    return (word ^ (1 << bit)) & WORD_MASK
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return bin(value).count("1")
+
+
+def mask_lanes(n: int) -> int:
+    """An n-lane all-active mask (lane 0 = LSB)."""
+    if n < 0:
+        raise ValueError("lane count must be non-negative")
+    return (1 << n) - 1
+
+
+def lanes_of(mask: int) -> list[int]:
+    """Indices of set lanes in ascending order."""
+    out = []
+    index = 0
+    while mask:
+        if mask & 1:
+            out.append(index)
+        mask >>= 1
+        index += 1
+    return out
+
+
+def f32(value: float) -> float:
+    """Round a Python float to float32 precision (simulator ALU precision)."""
+    return float(np.float32(value))
+
+
+def words_to_bytes(words: np.ndarray) -> bytes:
+    """Little-endian byte serialisation of a uint32 array."""
+    return np.ascontiguousarray(words, dtype="<u4").tobytes()
+
+
+def bytes_to_words(data: bytes) -> np.ndarray:
+    """Inverse of :func:`words_to_bytes` (pads to a word multiple)."""
+    if len(data) % 4:
+        data = data + b"\x00" * (4 - len(data) % 4)
+    return np.frombuffer(data, dtype="<u4").copy()

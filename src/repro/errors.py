@@ -1,0 +1,79 @@
+"""Exception taxonomy for the repro package.
+
+Simulator-detected failure conditions double as reliability outcomes: a
+:class:`SimFault` raised during a fault-injection run is classified as a
+DUE (detected unrecoverable error) by the campaign engine, exactly as a
+GPU exception / watchdog event would be on real hardware.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An architecture or launch configuration is invalid."""
+
+
+class AssemblyError(ReproError):
+    """Kernel assembly text failed to parse.
+
+    Carries the offending line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LaunchError(ReproError):
+    """A kernel launch was rejected (bad grid, unsatisfiable occupancy...)."""
+
+
+class SimFault(ReproError):
+    """Base class for faults detected *during* simulation.
+
+    These terminate the simulated program and are mapped to the DUE
+    outcome by the fault-injection engine.
+    """
+
+
+class MemoryFault(SimFault):
+    """Access outside any allocated global-memory buffer."""
+
+    def __init__(self, address: int, kind: str = "access"):
+        self.address = address
+        self.kind = kind
+        super().__init__(f"invalid global memory {kind} at 0x{address:08x}")
+
+
+class LocalMemoryFault(SimFault):
+    """Access outside the core's local/shared memory aperture."""
+
+    def __init__(self, address: int, limit: int):
+        self.address = address
+        self.limit = limit
+        super().__init__(
+            f"local memory access at 0x{address:x} outside 0..0x{limit:x}"
+        )
+
+
+class WatchdogTimeout(SimFault):
+    """The simulated kernel exceeded its cycle budget (hang)."""
+
+    def __init__(self, cycles: int, budget: int):
+        self.cycles = cycles
+        self.budget = budget
+        super().__init__(f"watchdog: {cycles} cycles exceeded budget {budget}")
+
+
+class BarrierDeadlock(SimFault):
+    """Threads blocked at a barrier that can never be satisfied."""
+
+
+class IllegalInstruction(SimFault):
+    """Decode or execute hit an unsupported/undefined operation."""

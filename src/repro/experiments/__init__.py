@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating every figure of the paper.
+
+* :mod:`repro.experiments.fig1_regfile_avf` — Fig. 1 (register file AVF)
+* :mod:`repro.experiments.fig2_localmem_avf` — Fig. 2 (local memory AVF)
+* :mod:`repro.experiments.fig3_epf` — Fig. 3 (executions per failure)
+
+CLI: ``python -m repro.experiments <fig1|fig2|fig3|all> [options]`` or
+the installed ``repro-experiments`` entry point.
+"""
+
+from repro.experiments.fig1_regfile_avf import run_fig1
+from repro.experiments.fig2_localmem_avf import run_fig2
+from repro.experiments.fig3_epf import run_fig3
+
+__all__ = ["run_fig1", "run_fig2", "run_fig3"]

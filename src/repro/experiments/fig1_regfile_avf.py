@@ -1,0 +1,39 @@
+"""Fig. 1 — register-file AVF by FI and ACE, with occupancy.
+
+Paper: 4 GPUs x 10 benchmarks + per-GPU average; AVF-FI and AVF-ACE
+bars with the occupancy line. Expected findings this harness must
+show: strong per-benchmark and per-GPU variation, AVF tracking
+occupancy, and ACE overestimating FI on the register file.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.kernels.registry import KERNEL_NAMES
+from repro.reliability.campaign import CellResult, run_matrix
+from repro.reliability.report import format_avf_figure, write_cells_csv
+from repro.sim.faults import REGISTER_FILE
+
+
+def run_fig1(samples: int | None = None, scale: str | None = None,
+             gpus: list | None = None, workloads: list | None = None,
+             seed: int = 0, out_csv: str | None = None,
+             progress=None, workers: int = 1) -> tuple[list[CellResult], str]:
+    """Run the Fig. 1 campaign; returns (cells, formatted report)."""
+    cells = run_matrix(
+        gpus=gpus if gpus is not None else list_scaled_gpus(),
+        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
+        scale=scale,
+        samples=samples,
+        seed=seed,
+        structures=(REGISTER_FILE,),
+        progress=progress,
+        workers=workers,
+    )
+    report = format_avf_figure(
+        cells, REGISTER_FILE,
+        "Fig. 1 - Register File AVF (fault injection vs ACE analysis)",
+    )
+    if out_csv:
+        write_cells_csv(cells, out_csv)
+    return cells, report

@@ -1,0 +1,50 @@
+"""Fig. 2 — local/shared memory AVF by FI and ACE, with occupancy.
+
+The paper's Fig. 2 covers only the seven benchmarks that allocate
+local memory (backprop, dwtHaar1D, histogram, matrixMul, reduction,
+scan, transpose); gaussian, kmeans and vectoradd use none and are
+absent, exactly as here. Expected finding: ACE is very close to FI
+for this structure (unlike the register file).
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.kernels.registry import KERNEL_NAMES, get_workload
+from repro.reliability.campaign import CellResult, run_matrix
+from repro.reliability.report import format_avf_figure, write_cells_csv
+from repro.sim.faults import LOCAL_MEMORY
+
+
+def local_memory_workloads(scale: str = "small") -> list:
+    """The Fig. 2 benchmark subset (local-memory users)."""
+    return [
+        name for name in KERNEL_NAMES
+        if get_workload(name, scale).uses_local_memory
+    ]
+
+
+def run_fig2(samples: int | None = None, scale: str | None = None,
+             gpus: list | None = None, workloads: list | None = None,
+             seed: int = 0, out_csv: str | None = None,
+             progress=None, workers: int = 1) -> tuple[list[CellResult], str]:
+    """Run the Fig. 2 campaign; returns (cells, formatted report)."""
+    if workloads is None:
+        workloads = local_memory_workloads(scale or "small")
+    cells = run_matrix(
+        gpus=gpus if gpus is not None else list_scaled_gpus(),
+        workloads=workloads,
+        scale=scale,
+        samples=samples,
+        seed=seed,
+        structures=(LOCAL_MEMORY,),
+        progress=progress,
+        workers=workers,
+    )
+    report = format_avf_figure(
+        cells, LOCAL_MEMORY,
+        "Fig. 2 - Local Memory AVF (fault injection vs ACE analysis)",
+    )
+    if out_csv:
+        write_cells_csv(cells, out_csv)
+    return cells, report

@@ -1,0 +1,37 @@
+"""Fig. 3 — Executions Per Failure (EPF) for all 4 GPUs x 10 benchmarks.
+
+EPF = EIT / FIT_GPU combines the chip's performance (cycle count and
+clock) with its reliability (per-structure AVF-FI weighted by
+structure size and raw soft-error rate). The paper plots it on a log
+axis spanning roughly 10^12..10^16; relative ordering across chips and
+benchmarks is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.kernels.registry import KERNEL_NAMES
+from repro.reliability.campaign import CellResult, run_matrix
+from repro.reliability.report import format_epf_figure, write_cells_csv
+from repro.sim.faults import STRUCTURES
+
+
+def run_fig3(samples: int | None = None, scale: str | None = None,
+             gpus: list | None = None, workloads: list | None = None,
+             seed: int = 0, out_csv: str | None = None,
+             progress=None, workers: int = 1) -> tuple[list[CellResult], str]:
+    """Run the Fig. 3 campaign; returns (cells, formatted report)."""
+    cells = run_matrix(
+        gpus=gpus if gpus is not None else list_scaled_gpus(),
+        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
+        scale=scale,
+        samples=samples,
+        seed=seed,
+        structures=STRUCTURES,
+        progress=progress,
+        workers=workers,
+    )
+    report = format_epf_figure(cells)
+    if out_csv:
+        write_cells_csv(cells, out_csv)
+    return cells, report

@@ -1,0 +1,105 @@
+"""Command-line entry point for the experiment harnesses.
+
+Examples::
+
+    repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
+    repro-experiments fig3 --gpus gtx480 hd7970 --workloads matrixMul kmeans
+    python -m repro.experiments all --samples 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.arch.scaling import get_scaled_gpu, list_scaled_gpus
+from repro.experiments.fig1_regfile_avf import run_fig1
+from repro.experiments.fig2_localmem_avf import run_fig2
+from repro.experiments.fig3_epf import run_fig3
+from repro.kernels.registry import KERNEL_NAMES
+
+_EXPERIMENTS = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+}
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Vallero et al., ISPASS 2017.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="fault injections per structure (paper: 2000; default: "
+             "REPRO_FI_SAMPLES or 150)",
+    )
+    parser.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+        help="workload input scale (default: REPRO_SCALE or small)",
+    )
+    parser.add_argument(
+        "--gpus", nargs="+", default=None, metavar="GPU",
+        help="chip subset by name/alias (default: all four, scaled)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="BENCH",
+        choices=list(KERNEL_NAMES), help="benchmark subset",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for fault re-simulations (default: serial; "
+             "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="CSV",
+        help="also write the cells to this CSV path (figure name is "
+             "appended when running 'all')",
+    )
+    return parser.parse_args(argv)
+
+
+def _progress(cell):
+    print(
+        f"  [{time.strftime('%H:%M:%S')}] {cell.gpu:<26} {cell.workload:<12} "
+        f"cycles={cell.cycles:<9} fi={cell.fi_time_s:6.1f}s",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    gpus = None
+    if args.gpus is not None:
+        gpus = [get_scaled_gpu(name) for name in args.gpus]
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        out_csv = args.out
+        if out_csv and args.experiment == "all":
+            out_csv = out_csv.replace(".csv", f"_{name}.csv")
+        print(f"== running {name} ==", file=sys.stderr, flush=True)
+        _, report = _EXPERIMENTS[name](
+            samples=args.samples,
+            scale=args.scale,
+            gpus=gpus,
+            workloads=args.workloads,
+            seed=args.seed,
+            out_csv=out_csv,
+            progress=_progress,
+            workers=args.workers,
+        )
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

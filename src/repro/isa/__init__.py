@@ -1,0 +1,5 @@
+"""Instruction-set front-ends: SASS-like (NVIDIA) and Southern-Islands-like (AMD)."""
+
+from repro.isa.base import Instruction, Program
+
+__all__ = ["Instruction", "Program"]

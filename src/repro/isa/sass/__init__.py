@@ -1,0 +1,5 @@
+"""SASS-like ISA: the native-assembly level GUFI injects at."""
+
+from repro.isa.sass.parser import assemble_sass
+
+__all__ = ["assemble_sass"]

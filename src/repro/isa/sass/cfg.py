@@ -1,0 +1,61 @@
+"""Control-flow analysis for SASS kernels.
+
+Builds the instruction-level CFG and computes each branch's immediate
+post-dominator — the reconvergence point used by the SIMT stack (the
+same policy GPGPU-Sim applies to SASS/PTX without explicit SSY
+annotations). Uses networkx's dominator algorithm on the reversed CFG.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import AssemblyError
+from repro.isa.base import LabelRef, Program
+from repro.sim.simt_stack import NO_RECONV
+
+_EXIT_NODE = "exit"
+
+
+def build_cfg(program: Program) -> nx.DiGraph:
+    """Instruction-level CFG with a virtual exit node."""
+    graph = nx.DiGraph()
+    count = len(program.instructions)
+    graph.add_nodes_from(range(count))
+    graph.add_node(_EXIT_NODE)
+    for pc, inst in enumerate(program.instructions):
+        fallthrough = pc + 1 if pc + 1 < count else _EXIT_NODE
+        if inst.opcode == "EXIT":
+            graph.add_edge(pc, _EXIT_NODE)
+            if inst.guard is not None:
+                graph.add_edge(pc, fallthrough)
+        elif inst.opcode == "BRA":
+            target_op = inst.operands[0]
+            if not isinstance(target_op, LabelRef):
+                raise AssemblyError("BRA target must be a label", line=inst.line)
+            graph.add_edge(pc, program.resolve_label(target_op))
+            if inst.guard is not None:
+                graph.add_edge(pc, fallthrough)
+        else:
+            graph.add_edge(pc, fallthrough)
+    return graph
+
+
+def immediate_postdominators(program: Program) -> dict[int, int]:
+    """pc -> reconvergence pc for every branch instruction.
+
+    ``NO_RECONV`` when the branch's sides only rejoin at program exit.
+    """
+    graph = build_cfg(program)
+    # Instructions unreachable from the entry would confuse the dominator
+    # computation; keep the reachable subgraph only.
+    reachable = nx.descendants(graph, 0) | {0}
+    graph = graph.subgraph(reachable).copy()
+    idom = nx.immediate_dominators(graph.reverse(copy=False), _EXIT_NODE)
+    table: dict[int, int] = {}
+    for pc, inst in enumerate(program.instructions):
+        if inst.opcode != "BRA" or pc not in reachable:
+            continue
+        node = idom.get(pc, _EXIT_NODE)
+        table[pc] = NO_RECONV if node == _EXIT_NODE else int(node)
+    return table

@@ -1,0 +1,98 @@
+"""SASS-like opcode table.
+
+The mnemonics and semantics follow NVIDIA's native SASS (the level GUFI
+injects at), restricted to the subset our ten benchmarks need. Each entry
+records the latency class used by the timing model and structural flags
+used by the parser/simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    latency_class: str          # alu | mul | sfu | shared | global | branch | barrier
+    writes_reg: bool = False    # first operand is a destination register
+    writes_pred: bool = False   # first operand is a destination predicate
+    is_branch: bool = False
+    is_barrier: bool = False
+    is_exit: bool = False
+    is_memory: bool = False     # has a MemRef operand
+    memory_space: str = ""      # "global" | "shared"
+    valid_mods: tuple = ()
+
+
+_OPS = [
+    # Data movement
+    OpInfo("MOV", "alu", writes_reg=True),
+    OpInfo("MOV32I", "alu", writes_reg=True),
+    OpInfo("S2R", "alu", writes_reg=True),
+    OpInfo("SEL", "alu", writes_reg=True),
+    # Integer arithmetic
+    OpInfo("IADD", "alu", writes_reg=True),
+    OpInfo("ISUB", "alu", writes_reg=True),
+    OpInfo("IMUL", "mul", writes_reg=True, valid_mods=("HI", "U32")),
+    OpInfo("IMAD", "mul", writes_reg=True, valid_mods=("U32",)),
+    OpInfo("ISCADD", "alu", writes_reg=True),   # (a << shift) + b
+    OpInfo("IMNMX", "alu", writes_reg=True, valid_mods=("MIN", "MAX", "U32")),
+    OpInfo("SHL", "alu", writes_reg=True),
+    OpInfo("SHR", "alu", writes_reg=True, valid_mods=("U32", "S32")),
+    OpInfo("AND", "alu", writes_reg=True),
+    OpInfo("OR", "alu", writes_reg=True),
+    OpInfo("XOR", "alu", writes_reg=True),
+    OpInfo("NOT", "alu", writes_reg=True),
+    # Floating point
+    OpInfo("FADD", "alu", writes_reg=True),
+    OpInfo("FMUL", "alu", writes_reg=True),
+    OpInfo("FFMA", "mul", writes_reg=True),
+    OpInfo("FMNMX", "alu", writes_reg=True, valid_mods=("MIN", "MAX")),
+    OpInfo(
+        "MUFU", "sfu", writes_reg=True,
+        valid_mods=("RCP", "SQRT", "RSQ", "EX2", "LG2", "SIN", "COS"),
+    ),
+    OpInfo("F2I", "sfu", writes_reg=True, valid_mods=("TRUNC", "FLOOR", "S32")),
+    OpInfo("I2F", "sfu", writes_reg=True, valid_mods=("U32",)),
+    # Predicates / comparison
+    OpInfo(
+        "ISETP", "alu", writes_pred=True,
+        valid_mods=("LT", "LE", "GT", "GE", "EQ", "NE", "U32", "AND"),
+    ),
+    OpInfo(
+        "FSETP", "alu", writes_pred=True,
+        valid_mods=("LT", "LE", "GT", "GE", "EQ", "NE", "AND"),
+    ),
+    # Memory
+    OpInfo("LDG", "global", writes_reg=True, is_memory=True, memory_space="global"),
+    OpInfo("STG", "global", is_memory=True, memory_space="global"),
+    OpInfo("LDS", "shared", writes_reg=True, is_memory=True, memory_space="shared"),
+    OpInfo("STS", "shared", is_memory=True, memory_space="shared"),
+    OpInfo(
+        "ATOMS", "shared", writes_reg=False, is_memory=True,
+        memory_space="shared", valid_mods=("ADD",),
+    ),
+    OpInfo(
+        "ATOM", "global", writes_reg=False, is_memory=True,
+        memory_space="global", valid_mods=("ADD",),
+    ),
+    # Control flow
+    OpInfo("BRA", "branch", is_branch=True),
+    OpInfo("EXIT", "branch", is_exit=True),
+    OpInfo("BAR", "barrier", is_barrier=True, valid_mods=("SYNC",)),
+    OpInfo("NOP", "alu"),
+]
+
+SASS_OPCODES: dict[str, OpInfo] = {op.name: op for op in _OPS}
+
+#: SASS special registers readable via S2R.
+SPECIAL_REGISTERS = (
+    "SR_TID_X", "SR_TID_Y",
+    "SR_CTAID_X", "SR_CTAID_Y",
+    "SR_NTID_X", "SR_NTID_Y",
+    "SR_NCTAID_X", "SR_NCTAID_Y",
+    "SR_LANEID", "SR_WARPID",
+)

@@ -1,0 +1,5 @@
+"""Southern-Islands-like ISA: the native-assembly level SIFI injects at."""
+
+from repro.isa.si.parser import assemble_si
+
+__all__ = ["assemble_si"]

@@ -1,0 +1,21 @@
+"""The cross-vendor benchmark suite (10 kernels x 2 ISAs)."""
+
+from repro.kernels.registry import KERNEL_NAMES, get_workload, list_workloads
+from repro.kernels.workload import (
+    BufferSpec,
+    RunResult,
+    Workload,
+    run_workload,
+    verify_against_reference,
+)
+
+__all__ = [
+    "KERNEL_NAMES",
+    "get_workload",
+    "list_workloads",
+    "Workload",
+    "BufferSpec",
+    "RunResult",
+    "run_workload",
+    "verify_against_reference",
+]

@@ -1,0 +1,37 @@
+"""Shared helpers for benchmark kernel modules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.isa.sass.parser import assemble_sass
+from repro.isa.si.parser import assemble_si
+
+#: Workloads use fixed seeds so every (GPU, benchmark) cell sees the
+#: same inputs — the paper's cross-vendor comparison requires identical
+#: workloads everywhere.
+SEED_BASE = 20170424  # ISPASS 2017 keynote date
+
+
+def rng_for(name: str) -> np.random.Generator:
+    """Deterministic per-benchmark RNG."""
+    return np.random.default_rng(SEED_BASE + (hash(name) & 0xFFFF))
+
+
+def uniform_f32(rng, n, low=-1.0, high=1.0) -> np.ndarray:
+    return rng.uniform(low, high, size=n).astype(np.float32)
+
+
+def uniform_i32(rng, n, low=0, high=100) -> np.ndarray:
+    return rng.integers(low, high, size=n).astype(np.int32)
+
+
+def blocks_for(total: int, per_block: int) -> int:
+    return math.ceil(total / per_block)
+
+
+def assemble_pair(sass_text: str, si_text: str) -> dict:
+    """Assemble both ISA implementations of one kernel."""
+    return {"sass": assemble_sass(sass_text), "si": assemble_si(si_text)}

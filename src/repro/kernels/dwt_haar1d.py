@@ -1,0 +1,135 @@
+"""dwtHaar1D: one level of the 1D Haar discrete wavelet transform
+(CUDA SDK "dwtHaar1D").
+
+Each 128-thread block stages 256 input samples in shared memory, then
+each thread emits one approximation and one detail coefficient:
+
+    approx[i] = (x[2i] + x[2i+1]) / sqrt(2)
+    detail[i] = (x[2i] - x[2i+1]) / sqrt(2)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+BLOCK = 128
+INV_SQRT2 = float(np.float32(1.0) / np.sqrt(np.float32(2.0)))
+
+SASS = f"""
+.kernel dwtHaar1D
+.regs 17
+.smem 1024
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    SHL R2, R1, 8              # block input base = bid*256
+    IADD R3, R2, R0            # base + tid
+    SHL R4, R3, 2
+    IADD R4, R4, c[1]
+    LDG R5, [R4]               # in[base + tid]
+    SHL R6, R0, 2
+    STS [R6], R5               # smem[tid]
+    LDG R7, [R4+512]           # in[base + tid + 128]
+    STS [R6+512], R7           # smem[tid + 128]
+    BAR.SYNC
+    SHL R8, R0, 3              # 2*tid*4
+    LDS R9, [R8]               # a = smem[2*tid]
+    LDS R10, [R8+4]            # b = smem[2*tid+1]
+    FADD R11, R9, R10
+    FMUL R11, R11, {INV_SQRT2!r}
+    FMUL R12, R10, -1.0
+    FADD R12, R9, R12
+    FMUL R12, R12, {INV_SQRT2!r}
+    SHL R13, R1, 7
+    IADD R13, R13, R0          # gid = bid*128 + tid
+    SHL R14, R13, 2
+    IADD R15, R14, c[2]
+    STG [R15], R11             # approx[gid]
+    IADD R16, R14, c[3]
+    STG [R16], R12             # detail[gid]
+    EXIT
+"""
+
+SI = f"""
+.kernel dwtHaar1D
+.vregs 14
+.sregs 12
+.lds 1024
+    s_mul_i32 s7, s0, 256      # block input base
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0       # base + tid
+    v_lshlrev_b32 v3, 2, v2
+    s_load_dword s6, param[1]
+    v_add_i32 v3, v3, s6
+    global_load_dword v4, v3       # in[base + tid]
+    v_lshlrev_b32 v5, 2, v0
+    ds_write_b32 v5, v4            # smem[tid]
+    global_load_dword v6, v3, 512  # in[base + tid + 128]
+    ds_write_b32 v5, v6, 512       # smem[tid + 128]
+    s_barrier
+    v_lshlrev_b32 v7, 3, v0        # 2*tid*4
+    ds_read_b32 v8, v7             # a
+    ds_read_b32 v9, v7, 4          # b
+    v_add_f32 v10, v8, v9
+    v_mul_f32 v10, v10, {INV_SQRT2!r}
+    v_sub_f32 v11, v8, v9
+    v_mul_f32 v11, v11, {INV_SQRT2!r}
+    s_mul_i32 s8, s0, 128
+    v_mov_b32 v12, s8
+    v_add_i32 v12, v12, v0         # gid
+    v_lshlrev_b32 v12, 2, v12
+    s_load_dword s9, param[2]
+    v_add_i32 v13, v12, s9
+    global_store_dword v13, v10    # approx[gid]
+    s_load_dword s9, param[3]
+    v_add_i32 v13, v12, s9
+    global_store_dword v13, v11    # detail[gid]
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 512, "small": 4096, "default": 8192}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    half = n // 2
+    rng = common.rng_for("dwtHaar1D")
+    signal = common.uniform_f32(rng, n)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(n, bases["in"], bases["approx"], bases["detail"])
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(half // BLOCK,),
+                block=(BLOCK,),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        pairs = signal.reshape(half, 2)
+        inv = np.float32(INV_SQRT2)
+        approx = ((pairs[:, 0] + pairs[:, 1]) * inv).astype(np.float32)
+        detail = ((pairs[:, 0] - pairs[:, 1]) * inv).astype(np.float32)
+        return {"approx": approx, "detail": detail}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="dwtHaar1D",
+        programs=programs,
+        buffers=[
+            BufferSpec("in", data=signal),
+            BufferSpec("approx", nbytes=half * 4),
+            BufferSpec("detail", nbytes=half * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["approx", "detail"],
+        reference=reference,
+        output_dtypes={"approx": "f32", "detail": "f32"},
+        description=f"one-level Haar DWT of {n} samples",
+        uses_local_memory=True,
+    )

@@ -1,0 +1,266 @@
+"""gaussian: Gaussian elimination (Rodinia "gaussian", Fan1/Fan2 kernels).
+
+The only multi-launch benchmark: for every pivot column t the host
+launches Fan1 (compute the column of multipliers m[i][t]) then Fan2
+(rank-1 update of the remaining augmented matrix). With N=16 that is
+30 dependent launches — exercising launch serialisation, and (as in
+the paper) no local memory, so gaussian appears in Fig. 1/3 only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+FAN1_SASS = """
+.kernel gaussian_fan1
+.regs 16
+.smem 0
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    S2R R2, SR_NTID_X
+    IMAD R3, R1, R2, R0        # gid
+    MOV R4, c[0]               # N
+    MOV R5, c[1]               # t
+    ISUB R6, R4, R5
+    ISUB R6, R6, 1             # count = N - 1 - t
+    ISETP.GE P0, R3, R6
+@P0 EXIT
+    IADD R7, R3, R5
+    IADD R7, R7, 1             # i = t + 1 + gid
+    IADD R8, R4, 1             # C = N + 1 (augmented columns)
+    IMAD R9, R7, R8, R5        # i*C + t
+    SHL R9, R9, 2
+    IADD R9, R9, c[2]
+    LDG R10, [R9]              # a[i][t]
+    IMAD R11, R5, R8, R5       # t*C + t
+    SHL R11, R11, 2
+    IADD R11, R11, c[2]
+    LDG R12, [R11]             # a[t][t]
+    MUFU.RCP R13, R12
+    FMUL R14, R10, R13         # m = a[i][t] / a[t][t]
+    IMAD R15, R7, R4, R5       # i*N + t
+    SHL R15, R15, 2
+    IADD R15, R15, c[3]
+    STG [R15], R14             # m[i][t]
+    EXIT
+"""
+
+FAN2_SASS = """
+.kernel gaussian_fan2
+.regs 22
+.smem 0
+    S2R R0, SR_TID_X
+    S2R R1, SR_TID_Y
+    S2R R2, SR_CTAID_X
+    S2R R3, SR_CTAID_Y
+    S2R R4, SR_NTID_X
+    S2R R5, SR_NTID_Y
+    IMAD R6, R2, R4, R0        # jj (column offset)
+    IMAD R7, R3, R5, R1        # ii (row offset)
+    MOV R8, c[0]               # N
+    MOV R9, c[1]               # t
+    IADD R10, R8, 1            # C
+    ISUB R11, R10, R9          # C - t columns to update
+    ISETP.GE P0, R6, R11
+@P0 EXIT
+    ISUB R12, R8, R9
+    ISUB R12, R12, 1           # N - 1 - t rows to update
+    ISETP.GE P1, R7, R12
+@P1 EXIT
+    IADD R13, R7, R9
+    IADD R13, R13, 1           # i = t + 1 + ii
+    IADD R14, R6, R9           # j = t + jj
+    IMAD R15, R13, R8, R9      # i*N + t
+    SHL R15, R15, 2
+    IADD R15, R15, c[3]
+    LDG R16, [R15]             # m[i][t]
+    IMAD R17, R9, R10, R14     # t*C + j
+    SHL R17, R17, 2
+    IADD R17, R17, c[2]
+    LDG R18, [R17]             # a[t][j]
+    IMAD R19, R13, R10, R14    # i*C + j
+    SHL R19, R19, 2
+    IADD R19, R19, c[2]
+    LDG R20, [R19]             # a[i][j]
+    FMUL R21, R16, R18
+    FMUL R21, R21, -1.0
+    FADD R20, R20, R21         # a[i][j] -= m[i][t] * a[t][j]
+    STG [R19], R20
+    EXIT
+"""
+
+FAN1_SI = """
+.kernel gaussian_fan1
+.vregs 12
+.sregs 16
+.lds 0
+    s_mul_i32 s7, s0, s2
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0           # gid
+    s_load_dword s6, param[0]      # N
+    s_load_dword s8, param[1]      # t
+    s_sub_i32 s9, s6, s8
+    s_sub_i32 s9, s9, 1            # count
+    v_cmp_lt_i32 vcc, v2, s9
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz done
+    s_add_i32 s12, s8, 1
+    v_add_i32 v3, v2, s12          # i
+    s_add_i32 s13, s6, 1           # C
+    v_mad_i32 v4, v3, s13, s8      # i*C + t
+    v_lshlrev_b32 v4, 2, v4
+    s_load_dword s14, param[2]
+    v_add_i32 v4, v4, s14
+    global_load_dword v5, v4       # a[i][t]
+    s_mul_i32 s15, s8, s13
+    s_add_i32 s15, s15, s8         # t*C + t
+    s_lshl_b32 s15, s15, 2
+    s_add_i32 s15, s15, s14
+    v_mov_b32 v6, s15
+    global_load_dword v7, v6       # a[t][t]
+    v_rcp_f32 v8, v7
+    v_mul_f32 v9, v5, v8           # m
+    v_mad_i32 v10, v3, s6, s8      # i*N + t
+    v_lshlrev_b32 v10, 2, v10
+    s_load_dword s14, param[3]
+    v_add_i32 v10, v10, s14
+    global_store_dword v10, v9     # m[i][t]
+done:
+    s_endpgm
+"""
+
+FAN2_SI = """
+.kernel gaussian_fan2
+.vregs 16
+.sregs 18
+.lds 0
+    s_mul_i32 s7, s0, s2
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0           # jj
+    s_mul_i32 s7, s1, s3
+    v_mov_b32 v3, s7
+    v_add_i32 v3, v3, v1           # ii
+    s_load_dword s6, param[0]      # N
+    s_load_dword s8, param[1]      # t
+    s_add_i32 s9, s6, 1            # C
+    s_sub_i32 s10, s9, s8          # columns
+    v_cmp_lt_i32 vcc, v2, s10
+    s_and_saveexec_b64 s[12:13], vcc
+    s_cbranch_execz done
+    s_sub_i32 s11, s6, s8
+    s_sub_i32 s11, s11, 1          # rows
+    v_cmp_lt_i32 vcc, v3, s11
+    s_and_saveexec_b64 s[14:15], vcc
+    s_cbranch_execz inner_done
+    s_add_i32 s16, s8, 1
+    v_add_i32 v4, v3, s16          # i
+    v_add_i32 v5, v2, s8           # j
+    v_mad_i32 v6, v4, s6, s8       # i*N + t
+    v_lshlrev_b32 v6, 2, v6
+    s_load_dword s17, param[3]
+    v_add_i32 v6, v6, s17
+    global_load_dword v7, v6       # m[i][t]
+    s_mul_i32 s17, s8, s9          # t*C
+    v_mov_b32 v8, s17
+    v_add_i32 v8, v8, v5
+    v_lshlrev_b32 v8, 2, v8
+    s_load_dword s17, param[2]
+    v_add_i32 v8, v8, s17
+    global_load_dword v9, v8       # a[t][j]
+    v_mad_i32 v10, v4, s9, v5      # i*C + j
+    v_lshlrev_b32 v10, 2, v10
+    v_add_i32 v10, v10, s17
+    global_load_dword v11, v10     # a[i][j]
+    v_mul_f32 v12, v7, v9
+    v_sub_f32 v11, v11, v12
+    global_store_dword v10, v11
+inner_done:
+    s_mov_b64 exec, s[14:15]
+done:
+    s_mov_b64 exec, s[12:13]
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 8, "small": 12, "default": 16}
+_FAN1_BLOCK = 64
+_FAN2_BLOCK = (16, 4)
+
+
+def _eliminate(aug: np.ndarray, n: int):
+    """Float32 reference mirroring the kernels' arithmetic exactly."""
+    a = aug.copy()
+    m = np.zeros((n, n), dtype=np.float32)
+    one = np.float32(1.0)
+    for t in range(n - 1):
+        rcp = one / a[t, t]
+        m[t + 1:, t] = a[t + 1:, t] * rcp
+        a[t + 1:, t:] = a[t + 1:, t:] - np.outer(m[t + 1:, t], a[t, t:])
+    return a, m
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    cols = n + 1
+    rng = common.rng_for("gaussian")
+    aug = common.uniform_f32(rng, (n, cols), low=0.5, high=2.0)
+    # Diagonal dominance keeps the elimination numerically tame.
+    aug[np.arange(n), np.arange(n)] += np.float32(n)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        fan1, fan2 = programs[isa]
+        launches = []
+        for t in range(n - 1):
+            params = pack_params(n, t, bases["a"], bases["m"])
+            rows = n - 1 - t
+            launches.append(
+                LaunchConfig(
+                    program=fan1,
+                    grid=(common.blocks_for(rows, _FAN1_BLOCK),),
+                    block=(_FAN1_BLOCK,),
+                    params=params,
+                )
+            )
+            bx, by = _FAN2_BLOCK
+            launches.append(
+                LaunchConfig(
+                    program=fan2,
+                    grid=(
+                        common.blocks_for(cols - t, bx),
+                        common.blocks_for(rows, by),
+                    ),
+                    block=_FAN2_BLOCK,
+                    params=params,
+                )
+            )
+        return launches
+
+    def reference() -> dict:
+        a, m = _eliminate(aug, n)
+        return {"a": a.reshape(-1), "m": m.reshape(-1)}
+
+    from repro.isa.sass.parser import assemble_sass
+    from repro.isa.si.parser import assemble_si
+
+    programs = {
+        "sass": [assemble_sass(FAN1_SASS), assemble_sass(FAN2_SASS)],
+        "si": [assemble_si(FAN1_SI), assemble_si(FAN2_SI)],
+    }
+    return Workload(
+        name="gaussian",
+        programs=programs,
+        buffers=[
+            BufferSpec("a", data=aug),
+            BufferSpec("m", nbytes=n * n * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["a", "m"],
+        reference=reference,
+        output_dtypes={"a": "f32", "m": "f32"},
+        rtol=1e-3,
+        description=f"Gaussian elimination of a {n}x{n} system, Fan1/Fan2 launches",
+        uses_local_memory=False,
+    )

@@ -1,0 +1,137 @@
+"""histogram: 64-bin histogram with per-block shared sub-histograms
+(CUDA SDK "histogram64").
+
+Each block builds a private 64-bin histogram in shared memory with
+shared atomics, then the first 64 threads merge it into the global
+bins with global atomics. Bin extraction masks the value to 6 bits —
+upper-bit flips in loaded data are logically masked (another FI-vs-ACE
+divergence source).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+BLOCK = 128
+BINS = 64
+
+SASS = """
+.kernel histogram
+.regs 10
+.smem 256
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    ISETP.LT P0, R0, 64
+    SHL R2, R0, 2
+@P0 STS [R2], RZ               # zero my shared bin
+    BAR.SYNC
+    SHL R3, R1, 7
+    IADD R3, R3, R0            # gid
+    ISETP.GE P1, R3, c[0]
+@P1 BRA merge
+    SHL R4, R3, 2
+    IADD R4, R4, c[1]
+    LDG R5, [R4]               # data[gid]
+    SHR.U32 R6, R5, 2
+    AND R6, R6, 63             # bin = (x >> 2) & 63
+    SHL R6, R6, 2
+    MOV32I R7, 1
+    ATOMS.ADD RZ, [R6], R7     # shared bin += 1
+merge:
+    BAR.SYNC
+    ISETP.GE P2, R0, 64
+@P2 EXIT
+    LDS R8, [R2]               # my shared bin count
+    SHL R9, R0, 2
+    IADD R9, R9, c[2]
+    ATOM.ADD RZ, [R9], R8      # global bins += partial
+    EXIT
+"""
+
+SI = """
+.kernel histogram
+.vregs 8
+.sregs 14
+.lds 256
+    v_lshlrev_b32 v2, 2, v0       # tid*4
+    v_cmp_lt_i32 vcc, v0, 64
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz zero_done
+    v_mov_b32 v3, 0
+    ds_write_b32 v2, v3           # zero my shared bin
+zero_done:
+    s_mov_b64 exec, s[10:11]
+    s_barrier
+    s_mul_i32 s7, s0, 128
+    v_mov_b32 v4, s7
+    v_add_i32 v4, v4, v0          # gid
+    s_load_dword s6, param[0]
+    v_cmp_lt_i32 vcc, v4, s6
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz merge
+    v_lshlrev_b32 v5, 2, v4
+    s_load_dword s8, param[1]
+    v_add_i32 v5, v5, s8
+    global_load_dword v6, v5      # data[gid]
+    v_lshrrev_b32 v6, 2, v6
+    v_and_b32 v6, v6, 63          # bin
+    v_lshlrev_b32 v6, 2, v6
+    v_mov_b32 v7, 1
+    ds_add_u32 v6, v7             # shared bin += 1
+merge:
+    s_mov_b64 exec, s[10:11]
+    s_barrier
+    v_cmp_lt_i32 vcc, v0, 64
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz done
+    ds_read_b32 v5, v2            # my shared bin count
+    s_load_dword s8, param[2]
+    v_lshlrev_b32 v6, 2, v0
+    v_add_i32 v6, v6, s8
+    global_atomic_add v7, v6, v5  # global bins += partial
+done:
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 1024, "small": 4096, "default": 8192}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    rng = common.rng_for("histogram")
+    data = rng.integers(0, 256, size=n).astype(np.uint32)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(n, bases["data"], bases["bins"])
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(n // BLOCK,),
+                block=(BLOCK,),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        bins = np.bincount((data >> 2) & 63, minlength=BINS)
+        return {"bins": bins.astype(np.uint32)}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="histogram",
+        programs=programs,
+        buffers=[
+            BufferSpec("data", data=data),
+            BufferSpec("bins", nbytes=BINS * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["bins"],
+        reference=reference,
+        output_dtypes={"bins": "u32"},
+        description=f"64-bin histogram of {n} values, shared-atomic sub-histograms",
+        uses_local_memory=True,
+    )

@@ -1,0 +1,176 @@
+"""kmeans: nearest-centroid assignment (Rodinia "kmeans" kernel_point).
+
+Each thread scans K centroids in D=4 dimensions, tracking the minimum
+squared distance with predicated moves. The min-tracking registers are
+overwritten on improvement and the comparison only uses ordering —
+rich logical masking, so register-file AVF-FI sits well below AVF-ACE
+here (the paper's headline register-file finding). No local memory:
+kmeans is absent from the paper's Fig. 2, as here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+BLOCK = 128
+DIMS = 4
+
+SASS = """
+.kernel kmeans
+.regs 15
+.smem 0
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    S2R R2, SR_NTID_X
+    IMAD R3, R1, R2, R0          # i
+    ISETP.GE P0, R3, c[0]
+@P0 EXIT
+    SHL R4, R3, 4                # i * D * 4 (D = 4)
+    IADD R4, R4, c[1]            # &points[i][0]
+    MOV32I R5, 0x7f7fffff        # best = FLT_MAX
+    MOV R6, RZ                   # best_k
+    MOV R7, RZ                   # k
+    MOV R8, c[2]                 # centroid cursor
+kloop:
+    MOV R9, RZ                   # dist = 0.0f
+    LDG R10, [R4]
+    LDG R11, [R8]
+    FMUL R13, R11, -1.0
+    FADD R12, R10, R13
+    FFMA R9, R12, R12, R9
+    LDG R10, [R4+4]
+    LDG R11, [R8+4]
+    FMUL R13, R11, -1.0
+    FADD R12, R10, R13
+    FFMA R9, R12, R12, R9
+    LDG R10, [R4+8]
+    LDG R11, [R8+8]
+    FMUL R13, R11, -1.0
+    FADD R12, R10, R13
+    FFMA R9, R12, R12, R9
+    LDG R10, [R4+12]
+    LDG R11, [R8+12]
+    FMUL R13, R11, -1.0
+    FADD R12, R10, R13
+    FFMA R9, R12, R12, R9
+    FSETP.LT P1, R9, R5
+@P1 MOV R5, R9
+@P1 MOV R6, R7
+    IADD R7, R7, 1
+    IADD R8, R8, 16
+    ISETP.LT P2, R7, c[3]
+@P2 BRA kloop
+    SHL R14, R3, 2
+    IADD R14, R14, c[4]
+    STG [R14], R6                # assign[i]
+    EXIT
+"""
+
+SI = """
+.kernel kmeans
+.vregs 14
+.sregs 14
+.lds 0
+    s_mul_i32 s7, s0, s2
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0           # i
+    s_load_dword s6, param[0]
+    v_cmp_lt_i32 vcc, v2, s6
+    s_and_saveexec_b64 s[8:9], vcc
+    s_cbranch_execz done
+    v_lshlrev_b32 v3, 4, v2        # i * 16
+    s_load_dword s10, param[1]
+    v_add_i32 v3, v3, s10          # &points[i][0]
+    v_mov_b32 v4, 0x7f7fffff       # best
+    v_mov_b32 v5, 0                # best_k
+    s_mov_b32 s11, 0               # k
+    s_load_dword s12, param[2]     # centroid cursor
+kloop:
+    v_mov_b32 v6, 0                # dist
+    global_load_dword v7, v3
+    v_mov_b32 v8, s12
+    global_load_dword v9, v8
+    v_sub_f32 v10, v7, v9
+    v_mac_f32 v6, v10, v10
+    global_load_dword v7, v3, 4
+    global_load_dword v9, v8, 4
+    v_sub_f32 v10, v7, v9
+    v_mac_f32 v6, v10, v10
+    global_load_dword v7, v3, 8
+    global_load_dword v9, v8, 8
+    v_sub_f32 v10, v7, v9
+    v_mac_f32 v6, v10, v10
+    global_load_dword v7, v3, 12
+    global_load_dword v9, v8, 12
+    v_sub_f32 v10, v7, v9
+    v_mac_f32 v6, v10, v10
+    v_cmp_lt_f32 vcc, v6, v4
+    v_cndmask_b32 v4, v4, v6, vcc  # best = min
+    v_mov_b32 v11, s11
+    v_cndmask_b32 v5, v5, v11, vcc # best_k
+    s_add_i32 s11, s11, 1
+    s_add_i32 s12, s12, 16
+    s_load_dword s13, param[3]
+    s_cmp_lt_i32 s11, s13
+    s_cbranch_scc1 kloop
+    v_lshlrev_b32 v12, 2, v2
+    s_load_dword s10, param[4]
+    v_add_i32 v12, v12, s10
+    global_store_dword v12, v5     # assign[i]
+done:
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 512, "small": 2048, "default": 4096}
+_CLUSTERS = {"tiny": 4, "small": 8, "default": 8}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    k = _CLUSTERS[scale]
+    rng = common.rng_for("kmeans")
+    points = common.uniform_f32(rng, (n, DIMS), low=0.0, high=10.0)
+    centroids = common.uniform_f32(rng, (k, DIMS), low=0.0, high=10.0)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(
+            n, bases["points"], bases["centroids"], k, bases["assign"]
+        )
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(common.blocks_for(n, BLOCK),),
+                block=(BLOCK,),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        # Mirror the kernel's float32 dimension-major accumulation so
+        # tie-breaking near equidistant centroids matches bit-for-bit.
+        dists = np.zeros((n, k), dtype=np.float32)
+        for dim in range(DIMS):
+            diff = points[:, dim:dim + 1] - centroids[None, :, dim]
+            dists += diff * diff
+        return {"assign": dists.argmin(axis=1).astype(np.uint32)}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="kmeans",
+        programs=programs,
+        buffers=[
+            BufferSpec("points", data=points),
+            BufferSpec("centroids", data=centroids),
+            BufferSpec("assign", nbytes=n * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["assign"],
+        reference=reference,
+        output_dtypes={"assign": "u32"},
+        description=f"nearest-centroid assignment, N={n}, K={k}, D={DIMS}",
+        uses_local_memory=False,
+    )

@@ -1,0 +1,184 @@
+"""matrixMul: tiled dense matrix multiply (CUDA SDK / APP SDK).
+
+C = A x B with 16x16 shared-memory tiles — the classic local-memory
+workload: both tiles stay live between the two barriers, so local
+memory AVF tracks occupancy closely (the paper's Fig. 2 behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+TILE = 16
+
+SASS = """
+.kernel matrixMul
+.regs 16
+.smem 2048
+    S2R R0, SR_TID_X
+    S2R R1, SR_TID_Y
+    S2R R2, SR_CTAID_X
+    S2R R3, SR_CTAID_Y
+    MOV R4, c[0]               # N
+    SHL R5, R3, 4
+    IADD R5, R5, R1            # row = by*16 + ty
+    SHL R6, R2, 4
+    IADD R6, R6, R0            # col = bx*16 + tx
+    MOV R7, RZ                 # acc = 0.0f
+    MOV R8, RZ                 # tile counter t
+    SHR.U32 R15, R4, 4         # numTiles = N / 16
+    # As[ty][tx] byte index, reused every tile
+    SHL R13, R1, 4
+    IADD R13, R13, R0
+    SHL R13, R13, 2
+tile_loop:
+    SHL R9, R8, 4              # t*16
+    IADD R10, R9, R0           # aCol = t*16 + tx
+    IMAD R11, R5, R4, R10      # row*N + aCol
+    SHL R11, R11, 2
+    IADD R11, R11, c[1]
+    LDG R12, [R11]
+    STS [R13], R12             # As[ty][tx]
+    IADD R10, R9, R1           # bRow = t*16 + ty
+    IMAD R11, R10, R4, R6      # bRow*N + col
+    SHL R11, R11, 2
+    IADD R11, R11, c[2]
+    LDG R12, [R11]
+    STS [R13+1024], R12        # Bs[ty][tx]
+    BAR.SYNC
+    MOV R9, RZ                 # k = 0
+inner:
+    SHL R10, R1, 4
+    IADD R10, R10, R9
+    SHL R10, R10, 2
+    LDS R11, [R10]             # As[ty][k]
+    SHL R12, R9, 4
+    IADD R12, R12, R0
+    SHL R12, R12, 2
+    LDS R14, [R12+1024]        # Bs[k][tx]
+    FFMA R7, R11, R14, R7
+    IADD R9, R9, 1
+    ISETP.LT P0, R9, 16
+@P0 BRA inner
+    BAR.SYNC
+    IADD R8, R8, 1
+    ISETP.LT P0, R8, R15
+@P0 BRA tile_loop
+    IMAD R9, R5, R4, R6        # row*N + col
+    SHL R9, R9, 2
+    IADD R9, R9, c[3]
+    STG [R9], R7
+    EXIT
+"""
+
+SI = """
+.kernel matrixMul
+.vregs 14
+.sregs 14
+.lds 2048
+    s_load_dword s6, param[0]      # N
+    s_lshr_b32 s7, s6, 4           # numTiles
+    s_mov_b32 s10, 0               # t
+    s_lshl_b32 s8, s1, 4
+    v_mov_b32 v2, s8
+    v_add_i32 v2, v2, v1           # row = wg_y*16 + ty
+    s_lshl_b32 s8, s0, 4
+    v_mov_b32 v3, s8
+    v_add_i32 v3, v3, v0           # col = wg_x*16 + tx
+    v_mov_b32 v4, 0                # acc
+    v_lshlrev_b32 v5, 4, v1
+    v_add_i32 v5, v5, v0
+    v_lshlrev_b32 v5, 2, v5        # tile byte index (ty*16+tx)*4
+tile_loop:
+    s_lshl_b32 s8, s10, 4          # t*16
+    v_mov_b32 v6, s8
+    v_add_i32 v7, v6, v0           # aCol
+    v_mad_i32 v8, v2, s6, v7       # row*N + aCol
+    v_lshlrev_b32 v8, 2, v8
+    s_load_dword s9, param[1]
+    v_add_i32 v8, v8, s9
+    global_load_dword v9, v8
+    ds_write_b32 v5, v9            # As[ty][tx]
+    v_add_i32 v7, v6, v1           # bRow
+    v_mad_i32 v8, v7, s6, v3       # bRow*N + col
+    v_lshlrev_b32 v8, 2, v8
+    s_load_dword s9, param[2]
+    v_add_i32 v8, v8, s9
+    global_load_dword v9, v8
+    ds_write_b32 v5, v9, 1024      # Bs[ty][tx]
+    s_barrier
+    s_mov_b32 s11, 0               # k
+inner:
+    v_lshlrev_b32 v10, 4, v1
+    v_add_i32 v10, v10, s11
+    v_lshlrev_b32 v10, 2, v10
+    ds_read_b32 v11, v10           # As[ty][k]
+    s_lshl_b32 s12, s11, 4
+    v_mov_b32 v12, s12
+    v_add_i32 v12, v12, v0
+    v_lshlrev_b32 v12, 2, v12
+    ds_read_b32 v13, v12, 1024     # Bs[k][tx]
+    v_mac_f32 v4, v11, v13
+    s_add_i32 s11, s11, 1
+    s_cmp_lt_i32 s11, 16
+    s_cbranch_scc1 inner
+    s_barrier
+    s_add_i32 s10, s10, 1
+    s_cmp_lt_i32 s10, s7
+    s_cbranch_scc1 tile_loop
+    v_mad_i32 v8, v2, s6, v3
+    v_lshlrev_b32 v8, 2, v8
+    s_load_dword s9, param[3]
+    v_add_i32 v8, v8, s9
+    global_store_dword v8, v4
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 16, "small": 32, "default": 64}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    rng = common.rng_for("matrixMul")
+    a = common.uniform_f32(rng, (n, n))
+    b = common.uniform_f32(rng, (n, n))
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(n, bases["a"], bases["b"], bases["c"])
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(n // TILE, n // TILE),
+                block=(TILE, TILE),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        # Mirror the kernel's float32 FMA accumulation order (k-major).
+        acc = np.zeros((n, n), dtype=np.float32)
+        for k in range(n):
+            acc += a[:, k:k + 1] * b[k:k + 1, :]
+        return {"c": acc}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="matrixMul",
+        programs=programs,
+        buffers=[
+            BufferSpec("a", data=a),
+            BufferSpec("b", data=b),
+            BufferSpec("c", nbytes=n * n * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["c"],
+        reference=reference,
+        output_dtypes={"c": "f32"},
+        rtol=1e-3,
+        description=f"tiled {n}x{n} float matmul, 16x16 shared tiles",
+        uses_local_memory=True,
+    )

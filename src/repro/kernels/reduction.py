@@ -1,0 +1,146 @@
+"""reduction: per-block shared-memory tree sum (CUDA SDK "reduce").
+
+Each 128-thread block loads two int32 elements, then halving-stride
+tree reduction in shared memory; thread 0 writes the block partial.
+The strided phase predicates off growing fractions of each warp —
+classic logical masking that fault injection sees but conservative ACE
+analysis does not (a driver of the paper's register-file ACE-vs-FI
+gap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+BLOCK = 128
+ELEMS_PER_BLOCK = 2 * BLOCK
+
+SASS = """
+.kernel reduction
+.regs 14
+.smem 512
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    SHL R3, R1, 8
+    IADD R3, R3, R0           # i = bid*256 + tid
+    SHL R4, R3, 2
+    IADD R4, R4, c[1]
+    LDG R5, [R4]              # in[i]
+    LDG R6, [R4+512]          # in[i + 128]
+    IADD R5, R5, R6
+    SHL R7, R0, 2
+    STS [R7], R5              # sdata[tid]
+    BAR.SYNC
+    MOV32I R8, 64             # s
+red_loop:
+    ISETP.LT P0, R0, R8
+    SHL R9, R8, 2
+    IADD R9, R9, R7           # &sdata[tid + s]
+@P0 LDS R10, [R9]
+@P0 LDS R11, [R7]
+@P0 IADD R11, R11, R10
+@P0 STS [R7], R11
+    BAR.SYNC
+    SHR.U32 R8, R8, 1
+    ISETP.GT P1, R8, RZ
+@P1 BRA red_loop
+    ISETP.NE P0, R0, RZ
+@P0 EXIT
+    LDS R12, [RZ]             # sdata[0]
+    SHL R13, R1, 2
+    IADD R13, R13, c[2]
+    STG [R13], R12            # partial[bid]
+    EXIT
+"""
+
+SI = """
+.kernel reduction
+.vregs 8
+.sregs 14
+.lds 512
+    s_mul_i32 s7, s0, 256
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0          # i = wg*256 + tid
+    v_lshlrev_b32 v3, 2, v2
+    s_load_dword s6, param[1]
+    v_add_i32 v3, v3, s6
+    global_load_dword v4, v3      # in[i]
+    global_load_dword v5, v3, 512 # in[i+128]
+    v_add_i32 v4, v4, v5
+    v_lshlrev_b32 v6, 2, v0       # &sdata[tid]
+    ds_write_b32 v6, v4
+    s_barrier
+    s_mov_b32 s8, 64              # s
+red_loop:
+    v_cmp_lt_i32 vcc, v0, s8
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz red_skip
+    s_lshl_b32 s9, s8, 2
+    v_add_i32 v7, v6, s9          # &sdata[tid+s]
+    ds_read_b32 v5, v7
+    ds_read_b32 v4, v6
+    v_add_i32 v4, v4, v5
+    ds_write_b32 v6, v4
+red_skip:
+    s_mov_b64 exec, s[10:11]
+    s_barrier
+    s_lshr_b32 s8, s8, 1
+    s_cmp_gt_i32 s8, 0
+    s_cbranch_scc1 red_loop
+    v_cmp_eq_i32 vcc, v0, 0
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz done
+    v_mov_b32 v7, 0
+    ds_read_b32 v5, v7            # sdata[0]
+    s_lshl_b32 s9, s0, 2
+    s_load_dword s6, param[2]
+    s_add_i32 s9, s9, s6
+    v_mov_b32 v7, s9
+    global_store_dword v7, v5     # partial[wg]
+done:
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 1024, "small": 4096, "default": 8192}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    blocks = n // ELEMS_PER_BLOCK
+    rng = common.rng_for("reduction")
+    data = common.uniform_i32(rng, n, low=-1000, high=1000)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(n, bases["in"], bases["partial"])
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(blocks,),
+                block=(BLOCK,),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        partial = data.reshape(blocks, ELEMS_PER_BLOCK).sum(axis=1, dtype=np.int64)
+        return {"partial": (partial & 0xFFFFFFFF).astype(np.uint32)}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="reduction",
+        programs=programs,
+        buffers=[
+            BufferSpec("in", data=data),
+            BufferSpec("partial", nbytes=blocks * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["partial"],
+        reference=reference,
+        output_dtypes={"partial": "u32"},
+        description=f"int32 block tree reduction, N={n}, {blocks} partials",
+        uses_local_memory=True,
+    )

@@ -1,0 +1,145 @@
+"""scan: per-block Hillis-Steele inclusive prefix sum (CUDA SDK "scan_naive").
+
+Double-buffered in shared memory: each of the log2(128) rounds toggles
+the ping/pong halves, so local memory stays fully live across the whole
+kernel — high local-memory AVF relative to occupancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import common
+from repro.kernels.workload import BufferSpec, Workload
+from repro.sim.launch import LaunchConfig, pack_params
+
+BLOCK = 128
+
+SASS = """
+.kernel scan
+.regs 18
+.smem 1024
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    SHL R2, R1, 7
+    IADD R2, R2, R0            # gid
+    SHL R3, R2, 2
+    IADD R3, R3, c[1]
+    LDG R4, [R3]               # in[gid]
+    SHL R5, R0, 2              # tid*4
+    STS [R5], R4               # ping[tid]
+    BAR.SYNC
+    MOV R6, RZ                 # pin base bytes (ping = 0)
+    MOV32I R7, 1               # offset
+scan_loop:
+    MOV32I R8, 512
+    ISUB R8, R8, R6            # pout base = toggle(pin)
+    IADD R9, R6, R5            # &pin[tid]
+    LDS R10, [R9]
+    ISETP.GE P0, R0, R7
+    SHL R11, R7, 2
+    ISUB R12, R9, R11          # &pin[tid - offset]
+@P0 LDS R13, [R12]
+@P0 IADD R10, R10, R13
+    IADD R14, R8, R5
+    STS [R14], R10             # pout[tid]
+    BAR.SYNC
+    MOV R6, R8                 # pin = pout
+    SHL R7, R7, 1
+    ISETP.LT P1, R7, 128
+@P1 BRA scan_loop
+    IADD R15, R6, R5
+    LDS R16, [R15]
+    SHL R17, R2, 2
+    IADD R17, R17, c[2]
+    STG [R17], R16             # out[gid]
+    EXIT
+"""
+
+SI = """
+.kernel scan
+.vregs 10
+.sregs 14
+.lds 1024
+    s_mul_i32 s7, s0, 128
+    v_mov_b32 v2, s7
+    v_add_i32 v2, v2, v0          # gid
+    v_lshlrev_b32 v3, 2, v2
+    s_load_dword s6, param[1]
+    v_add_i32 v3, v3, s6
+    global_load_dword v4, v3      # in[gid]
+    v_lshlrev_b32 v5, 2, v0       # tid*4
+    ds_write_b32 v5, v4           # ping[tid]
+    s_barrier
+    s_mov_b32 s8, 0               # pin base bytes
+    s_mov_b32 s9, 1               # offset
+scan_loop:
+    s_sub_i32 s12, 512, s8        # pout base
+    v_add_i32 v6, v5, s8          # &pin[tid]
+    ds_read_b32 v7, v6
+    v_cmp_ge_i32 vcc, v0, s9
+    s_and_saveexec_b64 s[10:11], vcc
+    s_cbranch_execz scan_skip
+    s_lshl_b32 s13, s9, 2
+    v_mov_b32 v8, s13
+    v_sub_i32 v8, v6, v8          # &pin[tid - offset]
+    ds_read_b32 v9, v8
+    v_add_i32 v7, v7, v9
+scan_skip:
+    s_mov_b64 exec, s[10:11]
+    v_add_i32 v6, v5, s12
+    ds_write_b32 v6, v7           # pout[tid]
+    s_barrier
+    s_mov_b32 s8, s12             # pin = pout
+    s_lshl_b32 s9, s9, 1
+    s_cmp_lt_i32 s9, 128
+    s_cbranch_scc1 scan_loop
+    v_add_i32 v6, v5, s8
+    ds_read_b32 v7, v6
+    v_lshlrev_b32 v8, 2, v2
+    s_load_dword s6, param[2]
+    v_add_i32 v8, v8, s6
+    global_store_dword v8, v7     # out[gid]
+    s_endpgm
+"""
+
+_SIZES = {"tiny": 512, "small": 2048, "default": 4096}
+
+
+def build(scale: str = "default") -> Workload:
+    n = _SIZES[scale]
+    blocks = n // BLOCK
+    rng = common.rng_for("scan")
+    data = common.uniform_i32(rng, n, low=-50, high=50)
+
+    def make_launches(isa: str, bases: dict) -> list:
+        params = pack_params(n, bases["in"], bases["out"])
+        return [
+            LaunchConfig(
+                program=programs[isa],
+                grid=(blocks,),
+                block=(BLOCK,),
+                params=params,
+            )
+        ]
+
+    def reference() -> dict:
+        segments = data.reshape(blocks, BLOCK).astype(np.int64)
+        scanned = segments.cumsum(axis=1)
+        return {"out": (scanned.reshape(-1) & 0xFFFFFFFF).astype(np.uint32)}
+
+    programs = common.assemble_pair(SASS, SI)
+    return Workload(
+        name="scan",
+        programs=programs,
+        buffers=[
+            BufferSpec("in", data=data),
+            BufferSpec("out", nbytes=n * 4),
+        ],
+        make_launches=make_launches,
+        output_buffers=["out"],
+        reference=reference,
+        output_dtypes={"out": "u32"},
+        description=f"per-block int32 inclusive scan, N={n}",
+        uses_local_memory=True,
+    )

@@ -1,0 +1,60 @@
+"""Reliability analyses: fault injection, ACE analysis, AVF, occupancy, EPF."""
+
+from repro.reliability.campaign import (
+    CellResult,
+    average_cell,
+    default_samples,
+    default_scale,
+    run_cell,
+    run_matrix,
+)
+from repro.reliability.epf import (
+    RAW_FIT_PER_BIT,
+    EpfResult,
+    compute_epf,
+    executions_in_time,
+    structure_fit,
+)
+from repro.reliability.fi import (
+    AvfEstimate,
+    CampaignOutput,
+    GoldenRun,
+    run_fi_campaign,
+    run_golden,
+)
+from repro.reliability.liveness import (
+    AceAccumulator,
+    AceMode,
+    FaultSiteResolver,
+    OccupancyAccumulator,
+)
+from repro.reliability.outcomes import FaultResult, Outcome, classify_outputs
+from repro.reliability.sampling import margin_of_error, required_samples
+
+__all__ = [
+    "run_cell",
+    "run_matrix",
+    "average_cell",
+    "CellResult",
+    "default_samples",
+    "default_scale",
+    "run_golden",
+    "run_fi_campaign",
+    "GoldenRun",
+    "AvfEstimate",
+    "CampaignOutput",
+    "AceAccumulator",
+    "AceMode",
+    "FaultSiteResolver",
+    "OccupancyAccumulator",
+    "Outcome",
+    "FaultResult",
+    "classify_outputs",
+    "margin_of_error",
+    "required_samples",
+    "compute_epf",
+    "EpfResult",
+    "structure_fit",
+    "executions_in_time",
+    "RAW_FIT_PER_BIT",
+]

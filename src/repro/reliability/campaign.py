@@ -1,0 +1,183 @@
+"""Campaign orchestration: the (GPU x benchmark) evaluation matrix.
+
+One *cell* is everything the paper measures for one chip running one
+benchmark: AVF by fault injection and by ACE analysis for both target
+structures, structure occupancies, the cycle count, and the EPF. The
+figure harnesses (`repro.experiments`, `benchmarks/`) are thin loops
+over cells.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.config import GpuConfig
+from repro.arch.presets import list_gpus
+from repro.errors import ConfigError
+from repro.kernels.registry import KERNEL_NAMES, get_workload
+from repro.reliability.epf import RAW_FIT_PER_BIT, EpfResult, compute_epf
+from repro.reliability.fi import AvfEstimate, GoldenRun, run_fi_campaign, run_golden
+from repro.reliability.liveness import AceMode
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, STRUCTURES
+
+#: Environment knobs so test/bench runs can be resized without code edits.
+ENV_SAMPLES = "REPRO_FI_SAMPLES"
+ENV_SCALE = "REPRO_SCALE"
+
+
+def default_samples(fallback: int = 150) -> int:
+    """FI samples per structure (env override REPRO_FI_SAMPLES)."""
+    return int(os.environ.get(ENV_SAMPLES, fallback))
+
+
+def default_scale(fallback: str = "small") -> str:
+    """Workload scale (env override REPRO_SCALE)."""
+    return os.environ.get(ENV_SCALE, fallback)
+
+
+@dataclass
+class CellResult:
+    """All reliability measurements for one (GPU, benchmark) pair."""
+
+    gpu: str
+    workload: str
+    scale: str
+    scheduler: str
+    cycles: int
+    num_launches: int
+    fi: dict                     # structure -> AvfEstimate
+    ace: dict                    # structure -> AVF_ACE float
+    occupancy: dict              # structure -> occupancy float
+    epf: EpfResult | None
+    golden_time_s: float
+    fi_time_s: float
+    samples: int
+    seed: int
+    uses_local_memory: bool
+
+    def avf_fi(self, structure: str) -> float:
+        return self.fi[structure].avf if structure in self.fi else 0.0
+
+    def avf_ace(self, structure: str) -> float:
+        return self.ace.get(structure, 0.0)
+
+    def row(self) -> dict:
+        """Flat dict for CSV export."""
+        rf, lm = REGISTER_FILE, LOCAL_MEMORY
+        return {
+            "gpu": self.gpu,
+            "workload": self.workload,
+            "scale": self.scale,
+            "scheduler": self.scheduler,
+            "cycles": self.cycles,
+            "launches": self.num_launches,
+            "samples": self.samples,
+            "avf_fi_regfile": round(self.avf_fi(rf), 6),
+            "avf_ace_regfile": round(self.avf_ace(rf), 6),
+            "occ_regfile": round(self.occupancy.get(rf, 0.0), 6),
+            "avf_fi_localmem": round(self.avf_fi(lm), 6),
+            "avf_ace_localmem": round(self.avf_ace(lm), 6),
+            "occ_localmem": round(self.occupancy.get(lm, 0.0), 6),
+            "sdc_regfile": self.fi[rf].sdc if rf in self.fi else 0,
+            "due_regfile": self.fi[rf].due if rf in self.fi else 0,
+            "sdc_localmem": self.fi[lm].sdc if lm in self.fi else 0,
+            "due_localmem": self.fi[lm].due if lm in self.fi else 0,
+            "epf": self.epf.epf if self.epf else float("nan"),
+            "fit_gpu": self.epf.fit_gpu if self.epf else float("nan"),
+            "golden_time_s": round(self.golden_time_s, 3),
+            "fi_time_s": round(self.fi_time_s, 3),
+        }
+
+
+def run_cell(config: GpuConfig, workload_name: str,
+             scale: str | None = None, samples: int | None = None,
+             seed: int = 0, scheduler: str = "rr",
+             structures: tuple = STRUCTURES,
+             ace_mode: AceMode = AceMode.CONSERVATIVE,
+             raw_fit_per_bit: float = RAW_FIT_PER_BIT,
+             golden: GoldenRun | None = None,
+             workers: int = 1) -> CellResult:
+    """Measure one (GPU, benchmark) cell end to end."""
+    scale = scale or default_scale()
+    samples = samples if samples is not None else default_samples()
+    workload = get_workload(workload_name, scale)
+
+    if golden is None:
+        golden = run_golden(config, workload, scheduler=scheduler,
+                            ace_mode=ace_mode)
+
+    start = time.perf_counter()
+    campaign = run_fi_campaign(
+        config, workload, golden, samples=samples, seed=seed,
+        structures=structures, workers=workers,
+    )
+    fi_time = time.perf_counter() - start
+
+    ace = {s: golden.ace.avf(s) for s in structures}
+    occupancy = {s: golden.occupancy.occupancy(s) for s in structures}
+
+    avf_for_epf = {s: campaign.estimates[s].avf for s in structures}
+    epf = compute_epf(config, workload_name, golden.cycles, avf_for_epf,
+                      raw_fit_per_bit)
+
+    return CellResult(
+        gpu=config.name,
+        workload=workload_name,
+        scale=scale,
+        scheduler=scheduler,
+        cycles=golden.cycles,
+        num_launches=len(golden.launch_cycles),
+        fi=campaign.estimates,
+        ace=ace,
+        occupancy=occupancy,
+        epf=epf,
+        golden_time_s=golden.wall_time_s,
+        fi_time_s=fi_time,
+        samples=samples,
+        seed=seed,
+        uses_local_memory=workload.uses_local_memory,
+    )
+
+
+def run_matrix(gpus: list | None = None, workloads: list | None = None,
+               scale: str | None = None, samples: int | None = None,
+               seed: int = 0, scheduler: str = "rr",
+               structures: tuple = STRUCTURES,
+               progress=None, workers: int = 1) -> list[CellResult]:
+    """Run the full (GPU x benchmark) matrix the figures are built from."""
+    gpus = gpus if gpus is not None else list_gpus()
+    workloads = workloads if workloads is not None else list(KERNEL_NAMES)
+    cells: list[CellResult] = []
+    for config in gpus:
+        for name in workloads:
+            cell = run_cell(
+                config, name, scale=scale, samples=samples, seed=seed,
+                scheduler=scheduler, structures=structures, workers=workers,
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    return cells
+
+
+def average_cell(cells: list[CellResult], gpu: str) -> dict:
+    """Per-GPU averages across benchmarks (the figures' 'average' group)."""
+    mine = [cell for cell in cells if cell.gpu == gpu]
+    if not mine:
+        raise ConfigError(f"no cells for GPU {gpu!r}")
+
+    def mean(getter):
+        values = [getter(cell) for cell in mine]
+        return sum(values) / len(values)
+
+    return {
+        "gpu": gpu,
+        "avf_fi_regfile": mean(lambda c: c.avf_fi(REGISTER_FILE)),
+        "avf_ace_regfile": mean(lambda c: c.avf_ace(REGISTER_FILE)),
+        "occ_regfile": mean(lambda c: c.occupancy.get(REGISTER_FILE, 0.0)),
+        "avf_fi_localmem": mean(lambda c: c.avf_fi(LOCAL_MEMORY)),
+        "avf_ace_localmem": mean(lambda c: c.avf_ace(LOCAL_MEMORY)),
+        "occ_localmem": mean(lambda c: c.occupancy.get(LOCAL_MEMORY, 0.0)),
+    }

@@ -1,0 +1,89 @@
+"""FIT / EIT / EPF — the paper's combined reliability-performance metric.
+
+Definitions (paper section II):
+
+* ``FIT_struct = raw_fit_per_bit x structure_bits x AVF_struct`` —
+  failures in 10^9 device-hours contributed by one storage structure;
+* ``FIT_GPU = sum of structure FITs`` (register file + local memory
+  here, as in the study);
+* ``EIT = executions in 10^9 hours = 3.6e12 s / t_exec`` where
+  ``t_exec = cycles / shader_clock``;
+* ``EPF = EIT / FIT_GPU`` — complete executions per failure.
+
+The raw per-bit soft-error rate is a technology constant the paper
+does not publish; the default 1 mFIT/bit is a standard terrestrial
+SRAM figure and is configurable everywhere it is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.errors import ConfigError
+
+#: Default raw soft-error rate: 1 milli-FIT per bit.
+RAW_FIT_PER_BIT = 1e-3
+
+#: Seconds in 10^9 hours.
+_SECONDS_PER_GIGAHOUR = 1e9 * 3600.0
+
+
+def execution_time_s(config: GpuConfig, cycles: int) -> float:
+    """Wall-clock seconds of one benchmark execution on the chip."""
+    if cycles < 0:
+        raise ConfigError("cycles must be non-negative")
+    return cycles / config.shader_clock_hz
+
+
+def executions_in_time(config: GpuConfig, cycles: int) -> float:
+    """EIT: benchmark executions completed in 10^9 device-hours."""
+    t_exec = execution_time_s(config, cycles)
+    if t_exec == 0:
+        raise ConfigError("zero-cycle execution has no EIT")
+    return _SECONDS_PER_GIGAHOUR / t_exec
+
+
+def structure_fit(config: GpuConfig, structure: str, avf: float,
+                  raw_fit_per_bit: float = RAW_FIT_PER_BIT) -> float:
+    """FIT contributed by one structure at a measured AVF."""
+    if not 0.0 <= avf <= 1.0:
+        raise ConfigError(f"AVF {avf} outside [0, 1]")
+    return raw_fit_per_bit * config.structure_bits(structure) * avf
+
+
+@dataclass(frozen=True)
+class EpfResult:
+    """EPF with its ingredients, for reporting."""
+
+    gpu: str
+    workload: str
+    cycles: int
+    t_exec_s: float
+    eit: float
+    fit_by_structure: dict
+    fit_gpu: float
+    epf: float
+
+
+def compute_epf(config: GpuConfig, workload_name: str, cycles: int,
+                avf_by_structure: dict,
+                raw_fit_per_bit: float = RAW_FIT_PER_BIT) -> EpfResult:
+    """Combine a cycle count and per-structure AVFs into the EPF metric."""
+    fit_by_structure = {
+        structure: structure_fit(config, structure, avf, raw_fit_per_bit)
+        for structure, avf in avf_by_structure.items()
+    }
+    fit_gpu = sum(fit_by_structure.values())
+    eit = executions_in_time(config, cycles)
+    epf = eit / fit_gpu if fit_gpu > 0 else float("inf")
+    return EpfResult(
+        gpu=config.name,
+        workload=workload_name,
+        cycles=cycles,
+        t_exec_s=execution_time_s(config, cycles),
+        eit=eit,
+        fit_by_structure=fit_by_structure,
+        fit_gpu=fit_gpu,
+        epf=epf,
+    )

@@ -1,0 +1,271 @@
+"""Statistical fault-injection engine (the GUFI / SIFI analogue).
+
+Campaign flow per (GPU, benchmark, structure):
+
+1. One traced fault-free run (shared with ACE/occupancy analysis)
+   fixes the cycle count and the golden outputs.
+2. ``samples`` (bit, cycle) faults are drawn uniformly over the
+   whole-chip structure x execution duration.
+3. One more traced golden run resolves every sampled fault as
+   provably-dead (classified MASKED without re-simulation) or
+   potentially-live.
+4. Every live fault is re-simulated to completion with the bit flip
+   applied at its cycle; the run is classified MASKED / SDC (bit-exact
+   output comparison against the golden outputs) / DUE (simulator
+   fault or watchdog hang).
+
+``AVF_FI = (SDC + DUE) / samples``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.errors import SimFault
+from repro.kernels.workload import Workload, run_workload
+from repro.reliability.liveness import (
+    AceAccumulator,
+    AceMode,
+    FaultSiteResolver,
+    OccupancyAccumulator,
+)
+from repro.reliability.outcomes import (
+    FaultResult,
+    Outcome,
+    classify_outputs,
+    count_corrupted_words,
+)
+from repro.reliability.sampling import margin_of_error
+from repro.sim.faults import STRUCTURES, FaultPlan, sample_faults
+from repro.sim.gpu import Gpu, default_watchdog_for
+from repro.sim.tracing import CompositeSink
+
+
+@dataclass
+class GoldenRun:
+    """Traced fault-free execution of one workload on one chip."""
+
+    config: GpuConfig
+    workload_name: str
+    scheduler: str
+    cycles: int
+    launch_cycles: list
+    outputs: dict
+    ace: AceAccumulator
+    occupancy: OccupancyAccumulator
+    wall_time_s: float
+
+
+def run_golden(config: GpuConfig, workload: Workload, scheduler: str = "rr",
+               ace_mode: AceMode = AceMode.CONSERVATIVE) -> GoldenRun:
+    """Run fault-free with ACE + occupancy tracing attached."""
+    ace = AceAccumulator(config, mode=ace_mode)
+    occupancy = OccupancyAccumulator(config)
+    gpu = Gpu(config, scheduler=scheduler, sink=CompositeSink(ace, occupancy))
+    start = time.perf_counter()
+    result = run_workload(gpu, workload)
+    elapsed = time.perf_counter() - start
+    return GoldenRun(
+        config=config,
+        workload_name=workload.name,
+        scheduler=scheduler,
+        cycles=result.cycles,
+        launch_cycles=result.launch_cycles,
+        outputs=result.outputs,
+        ace=ace,
+        occupancy=occupancy,
+        wall_time_s=elapsed,
+    )
+
+
+@dataclass
+class AvfEstimate:
+    """Fault-injection AVF estimate for one structure."""
+
+    structure: str
+    samples: int
+    masked: int
+    sdc: int
+    due: int
+    pruned: int          # masked without re-simulation (dead sites)
+    resimulated: int
+    wall_time_s: float
+    confidence: float = 0.99
+
+    @property
+    def failures(self) -> int:
+        return self.sdc + self.due
+
+    @property
+    def avf(self) -> float:
+        return self.failures / self.samples if self.samples else 0.0
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.sdc / self.samples if self.samples else 0.0
+
+    @property
+    def due_rate(self) -> float:
+        return self.due / self.samples if self.samples else 0.0
+
+    @property
+    def margin(self) -> float:
+        """Error margin at the configured confidence (paper footnote 4)."""
+        return margin_of_error(self.samples, confidence=self.confidence)
+
+
+@dataclass
+class CampaignOutput:
+    """Everything a fault-injection campaign produced."""
+
+    estimates: dict            # structure -> AvfEstimate
+    results: list = field(default_factory=list)  # list[FaultResult]
+
+
+def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
+                golden: GoldenRun) -> FaultResult:
+    """Full faulty run for one live fault site."""
+    gpu = Gpu(config, scheduler=golden.scheduler)
+    gpu.set_faults([plan])
+    gpu.set_watchdog(default_watchdog_for(golden.cycles))
+    try:
+        result = run_workload(gpu, workload)
+    except SimFault as fault:
+        return FaultResult(plan, Outcome.DUE, True, detail=type(fault).__name__)
+    outcome = classify_outputs(golden.outputs, result.outputs)
+    corrupted = (
+        count_corrupted_words(golden.outputs, result.outputs)
+        if outcome is Outcome.SDC else 0
+    )
+    return FaultResult(plan, outcome, True, corrupted_words=corrupted)
+
+
+def _resim_worker(args) -> tuple:
+    """Process-pool worker: re-simulate one fault from plain data.
+
+    Workloads hold closures (not picklable), so workers rebuild them
+    from the registry by (name, scale) — deterministic by construction.
+    """
+    (config, workload_name, scale, scheduler, golden_outputs,
+     golden_cycles, plan) = args
+    from repro.kernels.registry import get_workload
+    workload = get_workload(workload_name, scale)
+    gpu = Gpu(config, scheduler=scheduler)
+    gpu.set_faults([plan])
+    gpu.set_watchdog(default_watchdog_for(golden_cycles))
+    try:
+        result = run_workload(gpu, workload)
+    except SimFault as fault:
+        return plan, Outcome.DUE.value, type(fault).__name__, 0
+    outcome = classify_outputs(golden_outputs, result.outputs)
+    corrupted = (
+        count_corrupted_words(golden_outputs, result.outputs)
+        if outcome is Outcome.SDC else 0
+    )
+    return plan, outcome.value, "", corrupted
+
+
+def _resimulate_batch(config: GpuConfig, workload: Workload,
+                      plans: list, golden: GoldenRun,
+                      workers: int) -> dict:
+    """Re-simulate live faults, optionally across processes.
+
+    Returns plan -> FaultResult. Results are independent of ``workers``.
+    """
+    if workers <= 1 or len(plans) < 2:
+        return {plan: _resimulate(config, workload, plan, golden)
+                for plan in plans}
+    from repro.errors import ConfigError
+    from repro.kernels.registry import KERNEL_NAMES
+    if workload.name not in KERNEL_NAMES:
+        raise ConfigError(
+            "parallel campaigns need a registry workload "
+            f"(got {workload.name!r}); use workers=1"
+        )
+    from concurrent.futures import ProcessPoolExecutor
+    jobs = [
+        (config, workload.name, workload.scale, golden.scheduler,
+         golden.outputs, golden.cycles, plan)
+        for plan in plans
+    ]
+    results: dict = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for plan, outcome_value, detail, corrupted in pool.map(
+                _resim_worker, jobs, chunksize=4):
+            results[plan] = FaultResult(
+                plan, Outcome(outcome_value), True, detail=detail,
+                corrupted_words=corrupted,
+            )
+    return results
+
+
+def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
+                    samples: int, seed: int = 0,
+                    structures: tuple = STRUCTURES,
+                    keep_results: bool = False,
+                    workers: int = 1) -> CampaignOutput:
+    """Run the statistical FI campaign for the given structures.
+
+    ``workers > 1`` fans the fault re-simulations out over a process
+    pool; results are bit-identical to the serial run (faults are
+    independent and each re-simulation is deterministic).
+    """
+    rng = np.random.default_rng(seed)
+    plans_by_structure = {
+        structure: sample_faults(config, structure, golden.cycles, samples, rng)
+        for structure in structures
+    }
+    all_plans = [p for plans in plans_by_structure.values() for p in plans]
+
+    # Pruning pass: one traced golden run resolving dead vs live sites.
+    resolver = FaultSiteResolver(config, all_plans)
+    gpu = Gpu(config, scheduler=golden.scheduler, sink=resolver)
+    run_workload(gpu, workload)
+
+    live_plans = sorted(
+        {p for p in all_plans if resolver.is_live(p)},
+        key=lambda p: (p.structure, p.core, p.word, p.bit, p.cycle),
+    )
+    resim_start = time.perf_counter()
+    resim_results = _resimulate_batch(config, workload, live_plans, golden,
+                                      workers)
+    resim_time = time.perf_counter() - resim_start
+    total_live = max(1, len(live_plans))
+
+    output = CampaignOutput(estimates={})
+    for structure, plans in plans_by_structure.items():
+        masked = sdc = due = pruned = resims = 0
+        results: list[FaultResult] = []
+        for plan in plans:
+            if not resolver.is_live(plan):
+                masked += 1
+                pruned += 1
+                result = FaultResult(plan, Outcome.MASKED, False, detail="dead-site")
+            else:
+                result = resim_results[plan]
+                resims += 1
+                if result.outcome is Outcome.MASKED:
+                    masked += 1
+                elif result.outcome is Outcome.SDC:
+                    sdc += 1
+                else:
+                    due += 1
+            if keep_results:
+                results.append(result)
+        output.estimates[structure] = AvfEstimate(
+            structure=structure,
+            samples=len(plans),
+            masked=masked,
+            sdc=sdc,
+            due=due,
+            pruned=pruned,
+            resimulated=resims,
+            # Batch re-simulation time apportioned by this structure's share.
+            wall_time_s=resim_time * resims / total_live,
+        )
+        output.results.extend(results)
+    return output

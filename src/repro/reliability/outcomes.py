@@ -1,0 +1,62 @@
+"""Fault-injection outcome taxonomy.
+
+The standard three-way classification used by GUFI/SIFI and the paper:
+
+* **MASKED** — the program completed and every output buffer is
+  bit-identical to the fault-free simulation;
+* **SDC** — silent data corruption: completed, outputs differ;
+* **DUE** — detected unrecoverable error: the simulated chip faulted
+  (invalid memory access, barrier deadlock) or hung (watchdog).
+
+``AVF = (SDC + DUE) / injections`` — a bit is vulnerable if flipping
+it produces any failure, silent or detected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.faults import FaultPlan
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not Outcome.MASKED
+
+
+@dataclass(frozen=True)
+class FaultResult:
+    """One classified injection."""
+
+    plan: FaultPlan
+    outcome: Outcome
+    #: True when a full re-simulation was needed (False: pruned as
+    #: provably dead from the liveness trace — always MASKED).
+    resimulated: bool
+    detail: str = ""
+    #: SDC severity: number of corrupted output words (0 unless SDC).
+    corrupted_words: int = 0
+
+
+def classify_outputs(golden: dict, faulty: dict) -> Outcome:
+    """MASKED/SDC by bit-exact comparison of output buffers."""
+    for name, want in golden.items():
+        if not np.array_equal(want, faulty[name]):
+            return Outcome.SDC
+    return Outcome.MASKED
+
+
+def count_corrupted_words(golden: dict, faulty: dict) -> int:
+    """SDC severity: corrupted 32-bit output words across all buffers."""
+    total = 0
+    for name, want in golden.items():
+        total += int(np.count_nonzero(want != faulty[name]))
+    return total

@@ -1,0 +1,168 @@
+"""Report generation: the paper's figures as text tables, ASCII charts
+and CSV files.
+
+No plotting libraries are available offline, so "figures" are rendered
+as aligned tables plus ASCII bar charts — the same rows/series the
+paper plots, in the paper's ordering (benchmarks left to right, the
+four chips grouped per benchmark, plus the per-GPU average group).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+
+from repro.reliability.campaign import CellResult, average_cell
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
+
+#: Figure order of the chips.
+GPU_ORDER = (
+    "HD Radeon 7970",
+    "Quadro FX 5600",
+    "Quadro FX 5800",
+    "GeForce GTX 480",
+)
+
+
+def _gpu_key(name: str) -> str:
+    return name.replace(" (scaled)", "")
+
+
+def _sorted_cells(cells: list[CellResult]) -> dict:
+    """(workload -> gpu -> cell) in paper order."""
+    table: dict = {}
+    for cell in cells:
+        table.setdefault(cell.workload, {})[_gpu_key(cell.gpu)] = cell
+    return table
+
+
+def _gpu_order(cells: list[CellResult]) -> list:
+    """Paper chips in figure order, then any other chips as seen."""
+    present = []
+    for cell in cells:
+        key = _gpu_key(cell.gpu)
+        if key not in present:
+            present.append(key)
+    ordered = [gpu for gpu in GPU_ORDER if gpu in present]
+    ordered.extend(gpu for gpu in present if gpu not in GPU_ORDER)
+    return ordered
+
+
+def bar(value: float, width: int = 30, maximum: float = 1.0) -> str:
+    """Unit-interval ASCII bar."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(min(value / maximum, 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_avf_figure(cells: list[CellResult], structure: str,
+                      title: str) -> str:
+    """Fig. 1 / Fig. 2 style report: AVF-FI, AVF-ACE and occupancy."""
+    grouped = _sorted_cells(cells)
+    order = _gpu_order(cells)
+    lines = [title, "=" * len(title), ""]
+    header = (
+        f"{'benchmark':<12} {'GPU':<16} {'AVF-FI':>8} {'AVF-ACE':>8} "
+        f"{'Occup.':>8}  AVF-FI bar"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for workload, per_gpu in grouped.items():
+        for gpu in order:
+            cell = per_gpu.get(gpu)
+            if cell is None:
+                continue
+            fi = cell.avf_fi(structure)
+            ace = cell.avf_ace(structure)
+            occ = cell.occupancy.get(structure, 0.0)
+            lines.append(
+                f"{workload:<12} {gpu:<16} {fi:8.3f} {ace:8.3f} "
+                f"{occ:8.3f}  |{bar(fi)}|"
+            )
+        lines.append("")
+    # Average group (the figures' right-most cluster).
+    lines.append(f"{'average':<12}")
+    for gpu in order:
+        mine = [c for c in cells if _gpu_key(c.gpu) == gpu]
+        if not mine:
+            continue
+        avg = average_cell(mine, mine[0].gpu)
+        key = "regfile" if structure == REGISTER_FILE else "localmem"
+        fi = avg[f"avf_fi_{key}"]
+        ace = avg[f"avf_ace_{key}"]
+        occ = avg[f"occ_{key}"]
+        lines.append(
+            f"{'':<12} {gpu:<16} {fi:8.3f} {ace:8.3f} {occ:8.3f}  |{bar(fi)}|"
+        )
+    lines.append("")
+    margins = {cell.fi[structure].margin for cell in cells if structure in cell.fi}
+    if margins:
+        lines.append(
+            f"(n = {cells[0].samples} injections/structure; 99% confidence "
+            f"error margin = {max(margins) * 100:.2f}%)"
+        )
+    return "\n".join(lines)
+
+
+def format_epf_figure(cells: list[CellResult], title: str = "Fig. 3 - Executions per Failure (EPF)") -> str:
+    """Fig. 3 style report: EPF per (benchmark, GPU), log-scale bars."""
+    grouped = _sorted_cells(cells)
+    order = _gpu_order(cells)
+    lines = [title, "=" * len(title), ""]
+    header = f"{'benchmark':<12} {'GPU':<16} {'EPF':>12} {'FIT':>10} {'cycles':>10}  log10(EPF) 10..17"
+    lines.append(header)
+    lines.append("-" * len(header))
+    lo, hi = 10.0, 17.0
+    for workload, per_gpu in grouped.items():
+        for gpu in order:
+            cell = per_gpu.get(gpu)
+            if cell is None or cell.epf is None:
+                continue
+            epf = cell.epf.epf
+            log_epf = math.log10(epf) if math.isfinite(epf) and epf > 0 else lo
+            frac = (min(max(log_epf, lo), hi) - lo) / (hi - lo)
+            lines.append(
+                f"{workload:<12} {gpu:<16} {epf:12.3e} {cell.epf.fit_gpu:10.1f} "
+                f"{cell.cycles:10d}  |{bar(frac)}|"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_ace_vs_fi(cells: list[CellResult]) -> str:
+    """The ACE-overestimation summary the paper highlights in prose."""
+    lines = [
+        "ACE vs FI accuracy and analysis-time comparison",
+        "===============================================",
+        "",
+        f"{'benchmark':<12} {'GPU':<16} {'struct':<10} "
+        f"{'FI':>7} {'ACE':>7} {'ACE/FI':>7} {'FI time':>9} {'ACE time':>9}",
+    ]
+    for cell in cells:
+        for structure in (REGISTER_FILE, LOCAL_MEMORY):
+            if structure not in cell.fi:
+                continue
+            fi = cell.avf_fi(structure)
+            ace = cell.avf_ace(structure)
+            ratio = ace / fi if fi > 0 else float("inf")
+            short = "regfile" if structure == REGISTER_FILE else "localmem"
+            lines.append(
+                f"{cell.workload:<12} {_gpu_key(cell.gpu):<16} {short:<10} "
+                f"{fi:7.3f} {ace:7.3f} {ratio:7.2f} "
+                f"{cell.fi_time_s:8.1f}s {cell.golden_time_s:8.1f}s"
+            )
+    return "\n".join(lines)
+
+
+def write_cells_csv(cells: list[CellResult], path: str | Path) -> Path:
+    """Dump every cell as one CSV row (flat schema from CellResult.row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = [cell.row() for cell in cells]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

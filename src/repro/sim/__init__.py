@@ -1,0 +1,20 @@
+"""Microarchitectural GPU simulators (the GPGPU-Sim / Multi2Sim substitutes)."""
+
+from repro.sim.gpu import Gpu, default_watchdog_for
+from repro.sim.launch import LaunchConfig, pack_params
+from repro.sim.faults import FaultPlan, LOCAL_MEMORY, REGISTER_FILE, sample_faults
+from repro.sim.tracing import CompositeSink, EventRecorder, TraceSink
+
+__all__ = [
+    "Gpu",
+    "LaunchConfig",
+    "pack_params",
+    "FaultPlan",
+    "REGISTER_FILE",
+    "LOCAL_MEMORY",
+    "sample_faults",
+    "TraceSink",
+    "CompositeSink",
+    "EventRecorder",
+    "default_watchdog_for",
+]

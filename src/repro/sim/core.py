@@ -1,0 +1,287 @@
+"""Core (SM / CU) execution engine.
+
+One :class:`CoreBase` instance models one streaming multiprocessor or
+compute unit: it owns the core's register file and local memory (the
+fault-injection targets), the resident blocks and warps, the issue port
+and warp scheduler, and the core-local clock.
+
+The timing model is event-driven at warp-instruction granularity, the
+same altitude as GPGPU-Sim's "performance simulation" of these
+structures: each issued instruction occupies the issue port for
+``issue_cycles / num_schedulers`` cycles and makes its warp ready again
+after the instruction-class latency (dependent back-to-back issue —
+latency is hidden by multithreading across warps, not by intra-warp
+ILP). Memory instructions add a coalescing penalty proportional to the
+distinct 128-byte segments touched.
+
+Subclasses implement the ISA front-end: :class:`repro.sim.sass_core.SassCore`
+(NVIDIA) and :class:`repro.sim.si_core.SiCore` (AMD).
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import GpuConfig
+from repro.errors import BarrierDeadlock, LaunchError, WatchdogTimeout
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, FaultPlan
+from repro.sim.launch import LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.sim.occupancy import BlockFootprint
+from repro.sim.regfile import RegisterFile
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.sharedmem import LocalMemory
+from repro.sim.tracing import TraceSink
+from repro.sim.warp import BlockState
+
+#: Default per-run cycle budget for fault-free simulations.
+DEFAULT_WATCHDOG = 50_000_000
+
+
+class CoreBase:
+    """One SM/CU: storage, resident blocks, issue loop."""
+
+    def __init__(self, core_id: int, config: GpuConfig, gmem: GlobalMemory,
+                 scheduler: WarpScheduler, sink: TraceSink | None = None):
+        self.core_id = core_id
+        self.config = config
+        self.gmem = gmem
+        self.scheduler = scheduler
+        self.sink = sink
+        self.regfile = RegisterFile(
+            core_id, config.registers_per_core, config.warp_size, sink
+        )
+        self.lmem = LocalMemory(core_id, config.local_memory_bytes, sink)
+        self.time = 0
+        self.issue_free = 0
+        self.issue_interval = max(
+            1, config.latency.issue_cycles // config.num_schedulers
+        )
+        self.last_issued = -1
+        self.watchdog_limit = DEFAULT_WATCHDOG
+        # Fault plans targeting this core, sorted by cycle; applied lazily.
+        self._faults: list[FaultPlan] = []
+        self._fault_pos = 0
+        # Per-launch state
+        self.program = None
+        self.launch: LaunchConfig | None = None
+        self.footprint: BlockFootprint | None = None
+        self.blocks: list[BlockState] = []
+        self.warps: list = []
+        self._free_reg_slots: list[int] = []
+        self._free_lmem_slots: list[int] = []
+        self.blocks_retired = 0
+        self.instructions_issued = 0
+        self._warp_counter = 0
+
+    def next_warp_id(self) -> int:
+        """Core-unique, monotonically increasing warp slot id."""
+        wid = self._warp_counter
+        self._warp_counter += 1
+        return wid
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def set_faults(self, plans: list[FaultPlan]) -> None:
+        """Install this core's fault plans (any order; sorted here)."""
+        self._faults = sorted(
+            (p for p in plans if p.core == self.core_id), key=lambda p: p.cycle
+        )
+        self._fault_pos = 0
+
+    def _apply_faults_up_to(self, cycle: int) -> None:
+        while (self._fault_pos < len(self._faults)
+               and self._faults[self._fault_pos].cycle <= cycle):
+            plan = self._faults[self._fault_pos]
+            if plan.structure == REGISTER_FILE:
+                self.regfile.flip_bit(plan.word, plan.bit)
+            elif plan.structure == LOCAL_MEMORY:
+                self.lmem.flip_bit(plan.word, plan.bit)
+            self._fault_pos += 1
+
+    # ------------------------------------------------------------------
+    # Launch setup / block residency
+    # ------------------------------------------------------------------
+    def configure_launch(self, program, launch: LaunchConfig,
+                         footprint: BlockFootprint, resident_cap: int,
+                         start_time: int) -> None:
+        """Prepare the core for a new kernel launch at ``start_time``."""
+        self.program = program
+        self.launch = launch
+        self.footprint = footprint
+        self.blocks = []
+        self.warps = []
+        self.time = start_time
+        self.issue_free = start_time
+        self.last_issued = -1
+        rows_per_block = (
+            footprint.reg_words_per_warp // self.config.warp_size
+        ) * footprint.warps
+        max_rows = self.regfile.num_rows
+        self._free_reg_slots = [
+            slot * rows_per_block
+            for slot in range(resident_cap)
+            if (slot + 1) * rows_per_block <= max_rows
+        ]
+        lmem_bytes = footprint.lmem_bytes
+        if lmem_bytes:
+            self._free_lmem_slots = [
+                slot * lmem_bytes
+                for slot in range(resident_cap)
+                if (slot + 1) * lmem_bytes <= self.config.local_memory_bytes
+            ]
+        else:
+            self._free_lmem_slots = [0] * resident_cap
+        self._prepare_program(program)
+
+    def _prepare_program(self, program) -> None:
+        """ISA-specific per-launch preparation (e.g. CFG analysis)."""
+
+    @property
+    def can_accept_block(self) -> bool:
+        return bool(self._free_reg_slots) and bool(self._free_lmem_slots)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.blocks)
+
+    def add_block(self, linear_id: int, index: tuple) -> BlockState:
+        """Make one block resident (allocates registers + local memory)."""
+        if not self.can_accept_block:
+            raise LaunchError(f"core {self.core_id} has no free block slot")
+        footprint = self.footprint
+        reg_base_row = self._free_reg_slots.pop(0)
+        lmem_base = self._free_lmem_slots.pop(0)
+        rows_per_block = (
+            footprint.reg_words_per_warp // self.config.warp_size
+        ) * footprint.warps
+        self.regfile.clear_rows(reg_base_row, rows_per_block)
+        if footprint.lmem_bytes:
+            self.lmem.clear_range(lmem_base, footprint.lmem_bytes)
+        block = BlockState(linear_id, index, reg_base_row, lmem_base, footprint)
+        self._populate_warps(block)
+        self.blocks.append(block)
+        for warp in block.warps:
+            warp.ready_cycle = self.time
+            self.warps.append(warp)
+        if self.sink is not None:
+            self.sink.on_block_alloc(
+                self.time, self.core_id, footprint.reg_words, footprint.lmem_bytes
+            )
+        return block
+
+    def _populate_warps(self, block: BlockState) -> None:
+        raise NotImplementedError
+
+    def _retire_block(self, block: BlockState) -> None:
+        self.blocks.remove(block)
+        self.warps = [warp for warp in self.warps if warp.block is not block]
+        self._free_reg_slots.append(block.reg_base_row)
+        self._free_lmem_slots.append(block.lmem_base)
+        self.blocks_retired += 1
+        if self.sink is not None:
+            self.sink.on_block_free(
+                self.time, self.core_id,
+                block.footprint.reg_words, block.footprint.lmem_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Issue loop
+    # ------------------------------------------------------------------
+    def run_until_retire(self) -> bool:
+        """Issue instructions until one block retires or the core drains.
+
+        Returns True if a block retired (the caller may backfill),
+        False if the core ran out of work.
+        """
+        retired_before = self.blocks_retired
+        while self.blocks:
+            candidates = [
+                warp for warp in self.warps
+                if not warp.done and not warp.at_barrier
+            ]
+            if not candidates:
+                # Every live warp is at a barrier that never completed:
+                # arrival-time release should have fired, so this is a
+                # genuine deadlock (possible under injected faults).
+                raise BarrierDeadlock(
+                    f"core {self.core_id}: all warps blocked at barrier"
+                )
+            t_best = min(
+                max(warp.ready_cycle, self.issue_free) for warp in candidates
+            )
+            ties = [
+                warp for warp in candidates
+                if max(warp.ready_cycle, self.issue_free) == t_best
+            ]
+            warp = self.scheduler.pick(ties, self.last_issued)
+            self._issue(warp, t_best)
+            if self.blocks_retired != retired_before:
+                return True
+        return False
+
+    def _issue(self, warp, t_issue: int) -> None:
+        """Execute one warp-instruction at ``t_issue``."""
+        if t_issue > self.watchdog_limit:
+            raise WatchdogTimeout(t_issue, self.watchdog_limit)
+        self._apply_faults_up_to(t_issue)
+        self.time = t_issue
+        self.issue_free = t_issue + self.issue_interval
+        self.last_issued = warp.wid
+        self.instructions_issued += 1
+        warp.last_issue = t_issue
+        latency = self._execute(warp, t_issue)
+        warp.ready_cycle = t_issue + max(1, latency)
+        if warp.done:
+            self._note_warp_done(warp)
+
+    def _execute(self, warp, t_issue: int) -> int:
+        """ISA-specific: run one instruction, return its latency."""
+        raise NotImplementedError
+
+    def _note_warp_done(self, warp) -> None:
+        block = warp.block
+        block.unfinished -= 1
+        # A warp exiting can complete a pending barrier.
+        self._maybe_release_barrier(block)
+        if block.unfinished == 0:
+            self._retire_block(block)
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+    def _arrive_barrier(self, warp, t_issue: int) -> None:
+        warp.at_barrier = True
+        warp.barrier_arrival = t_issue
+        self._maybe_release_barrier(warp.block)
+
+    def _maybe_release_barrier(self, block: BlockState) -> None:
+        if not block.barrier_complete():
+            return
+        release = max(
+            warp.barrier_arrival for warp in block.warps if not warp.done
+        ) + self.config.latency.barrier
+        for warp in block.warps:
+            if not warp.done:
+                warp.at_barrier = False
+                warp.ready_cycle = max(warp.ready_cycle, release)
+
+    # ------------------------------------------------------------------
+    # Memory timing helper
+    # ------------------------------------------------------------------
+    def _coalescing_extra(self, addresses) -> int:
+        segments = self.gmem.segments_touched(addresses)
+        if segments <= 1:
+            return 0
+        return (segments - 1) * self.config.latency.uncoalesced_penalty
+
+    def latency_of(self, latency_class: str) -> int:
+        table = self.config.latency
+        return {
+            "alu": table.alu,
+            "mul": table.mul,
+            "sfu": table.sfu,
+            "shared": table.shared,
+            "global": table.global_mem,
+            "branch": table.branch,
+            "barrier": table.barrier,
+        }[latency_class]

@@ -1,0 +1,83 @@
+"""Fault plans: where and when a bit flips.
+
+The fault model is the paper's: a single soft-error bit flip at a
+uniformly random (bit, cycle) coordinate over a whole-chip storage
+structure x the fault-free execution's duration. A plan pins one such
+coordinate; the simulator applies the flip to the target core's storage
+the first time that core's clock reaches the plan cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.errors import ConfigError
+
+#: Structures the paper injects into.
+REGISTER_FILE = "register_file"
+LOCAL_MEMORY = "local_memory"
+STRUCTURES = (REGISTER_FILE, LOCAL_MEMORY)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled bit flip."""
+
+    structure: str   # REGISTER_FILE | LOCAL_MEMORY
+    core: int        # SM / CU index
+    word: int        # word index within that core's structure
+    bit: int         # 0 (LSB) .. 31
+    cycle: int       # chip cycle at/after which the flip is applied
+
+    def __post_init__(self):
+        if self.structure not in STRUCTURES:
+            raise ConfigError(f"unknown structure {self.structure!r}")
+        if not 0 <= self.bit < 32:
+            raise ConfigError(f"bit {self.bit} outside 0..31")
+        if self.word < 0 or self.core < 0 or self.cycle < 0:
+            raise ConfigError("fault coordinates must be non-negative")
+
+    @property
+    def global_word(self) -> int:
+        """Word index within the whole-chip structure (core-major)."""
+        return self.word  # per-core index; combine with .core for chip coords
+
+
+def words_per_core(config: GpuConfig, structure: str) -> int:
+    """Words of the structure per SM/CU."""
+    if structure == REGISTER_FILE:
+        return config.registers_per_core
+    if structure == LOCAL_MEMORY:
+        return config.local_memory_bytes // 4
+    raise ConfigError(f"unknown structure {structure!r}")
+
+
+def fault_from_flat(config: GpuConfig, structure: str, bit_index: int,
+                    cycle: int) -> FaultPlan:
+    """Build a plan from a flat whole-chip bit index + cycle."""
+    per_core = words_per_core(config, structure)
+    total_bits = per_core * 32 * config.num_cores
+    if not 0 <= bit_index < total_bits:
+        raise ConfigError(f"bit index {bit_index} outside structure")
+    word_global, bit = divmod(bit_index, 32)
+    core, word = divmod(word_global, per_core)
+    return FaultPlan(structure=structure, core=core, word=word, bit=bit,
+                     cycle=cycle)
+
+
+def sample_faults(config: GpuConfig, structure: str, total_cycles: int,
+                  count: int, rng: np.random.Generator) -> list[FaultPlan]:
+    """Draw ``count`` uniform (bit, cycle) fault plans."""
+    if total_cycles <= 0:
+        raise ConfigError("total_cycles must be positive")
+    per_core = words_per_core(config, structure)
+    total_bits = per_core * 32 * config.num_cores
+    bit_indices = rng.integers(0, total_bits, size=count)
+    cycles = rng.integers(0, total_cycles, size=count)
+    return [
+        fault_from_flat(config, structure, int(b), int(c))
+        for b, c in zip(bit_indices, cycles)
+    ]

@@ -1,0 +1,137 @@
+"""Whole-chip GPU model: block dispatcher over per-core engines.
+
+Blocks are dispatched exactly as on hardware: an initial wave fills
+every core up to the kernel's occupancy limit, then each retiring block
+backfills the core that freed the slot (cores run independent clocks —
+legitimate because inter-core communication within a launch is limited
+to commutative global atomics in our benchmark suite). Consecutive
+launches serialise: every launch starts at the chip cycle where the
+previous one ended, so fault cycles are continuous across multi-kernel
+workloads (e.g. gaussian's Fan1/Fan2 iterations).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.config import GpuConfig
+from repro.errors import ConfigError, LaunchError
+from repro.sim.core import DEFAULT_WATCHDOG
+from repro.sim.faults import FaultPlan
+from repro.sim.launch import LaunchConfig
+from repro.sim.memory import GlobalMemory
+from repro.sim.occupancy import block_footprint, max_resident_blocks
+from repro.sim.scheduler import make_scheduler
+from repro.sim.tracing import TraceSink
+
+
+class Gpu:
+    """One simulated GPU chip."""
+
+    def __init__(self, config: GpuConfig, scheduler: str = "rr",
+                 sink: TraceSink | None = None,
+                 memory_capacity: int = 1 << 24):
+        self.config = config
+        self.sink = sink
+        self.mem = GlobalMemory(memory_capacity)
+        self.scheduler_name = scheduler
+        core_class = self._core_class(config)
+        self.cores = [
+            core_class(core_id, config, self.mem, make_scheduler(scheduler), sink)
+            for core_id in range(config.num_cores)
+        ]
+        self.chip_cycle = 0
+        self.launches_run = 0
+
+    @staticmethod
+    def _core_class(config: GpuConfig):
+        # Imported here to avoid a circular import at module load.
+        if config.isa == "sass":
+            from repro.sim.sass_core import SassCore
+            return SassCore
+        if config.isa == "si":
+            from repro.sim.si_core import SiCore
+            return SiCore
+        raise ConfigError(f"no core model for ISA {config.isa!r}")
+
+    def set_faults(self, plans: list[FaultPlan]) -> None:
+        """Install fault plans (each routed to its target core)."""
+        for core in self.cores:
+            core.set_faults(plans)
+
+    def set_watchdog(self, limit_cycles: int) -> None:
+        """Abort any core whose clock passes ``limit_cycles`` (DUE)."""
+        for core in self.cores:
+            core.watchdog_limit = limit_cycles
+
+    def launch(self, launch: LaunchConfig) -> int:
+        """Run one kernel launch to completion; returns its cycle count."""
+        program = launch.program
+        if program.isa != self.config.isa:
+            raise LaunchError(
+                f"kernel {program.name!r} is {program.isa} but "
+                f"{self.config.name} executes {self.config.isa}"
+            )
+        footprint = block_footprint(self.config, program, launch)
+        resident_cap = max_resident_blocks(self.config, footprint)
+
+        start = self.chip_cycle
+        for core in self.cores:
+            core.configure_launch(program, launch, footprint, resident_cap, start)
+
+        pending = list(enumerate(launch.block_indices()))
+        pending.reverse()  # pop() yields dispatch order
+
+        # Initial wave: round-robin across cores until slots or blocks run out.
+        filling = True
+        while filling and pending:
+            filling = False
+            for core in self.cores:
+                if pending and core.can_accept_block:
+                    linear, index = pending.pop()
+                    core.add_block(linear, index)
+                    filling = True
+
+        # Event loop: always advance the core with the earliest local clock.
+        heap = [
+            (core.time, core.core_id) for core in self.cores if core.has_work
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            core = self.cores[core_id]
+            if not core.has_work:
+                continue
+            retired = core.run_until_retire()
+            if retired and pending and core.can_accept_block:
+                linear, index = pending.pop()
+                core.add_block(linear, index)
+            if core.has_work:
+                heapq.heappush(heap, (core.time, core_id))
+
+        if pending:
+            raise LaunchError("dispatcher finished with undispatched blocks")
+
+        end = max(core.time for core in self.cores)
+        self.chip_cycle = max(end, start)
+        self.launches_run += 1
+        return self.chip_cycle - start
+
+    def finish(self) -> int:
+        """Signal end-of-workload to the trace sink; returns chip cycles."""
+        if self.sink is not None:
+            self.sink.on_run_end(self.chip_cycle)
+        return self.chip_cycle
+
+    @property
+    def instructions_issued(self) -> int:
+        """Warp-instructions executed across all cores (all launches)."""
+        return sum(core.instructions_issued for core in self.cores)
+
+
+def default_watchdog_for(golden_cycles: int) -> int:
+    """Watchdog budget for faulty re-runs given the fault-free runtime."""
+    return golden_cycles * 4 + 20_000
+
+
+__all__ = ["Gpu", "default_watchdog_for", "DEFAULT_WATCHDOG"]

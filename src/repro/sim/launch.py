@@ -1,0 +1,81 @@
+"""Kernel launch descriptors.
+
+A :class:`LaunchConfig` is the device-side half of a workload: which
+program to run, the grid/block geometry, and the packed kernel
+parameters (32-bit words — integers, float bit patterns and buffer base
+addresses), accessed by the kernels as ``c[k]`` (SASS) or ``param[k]``
+(SI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bits import float_to_bits, u32
+from repro.errors import LaunchError
+from repro.isa.base import Program
+
+
+def pack_params(*values) -> list[int]:
+    """Pack ints / floats / numpy scalars into u32 parameter words."""
+    words: list[int] = []
+    for value in values:
+        if isinstance(value, (bool, np.bool_)):
+            words.append(int(value))
+        elif isinstance(value, (float, np.floating)):
+            words.append(float_to_bits(float(value)))
+        elif isinstance(value, (int, np.integer)):
+            words.append(u32(int(value)))
+        else:
+            raise LaunchError(f"cannot pack parameter {value!r}")
+    return words
+
+
+@dataclass
+class LaunchConfig:
+    """One kernel launch (grid of blocks of threads)."""
+
+    program: Program
+    grid: tuple     # (gx, gy)
+    block: tuple    # (bx, by)
+    params: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if len(self.grid) == 1:
+            self.grid = (self.grid[0], 1)
+        if len(self.block) == 1:
+            self.block = (self.block[0], 1)
+        gx, gy = self.grid
+        bx, by = self.block
+        if gx <= 0 or gy <= 0 or bx <= 0 or by <= 0:
+            raise LaunchError(f"bad geometry grid={self.grid} block={self.block}")
+        if bx * by > 1024:
+            raise LaunchError("more than 1024 threads per block")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block[0] * self.block[1]
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    def block_indices(self):
+        """Linear dispatch order: x fastest (row-major over (y, x))."""
+        for by_ in range(self.grid[1]):
+            for bx_ in range(self.grid[0]):
+                yield (bx_, by_)
+
+    def param_word(self, index: int) -> int:
+        if not 0 <= index < len(self.params):
+            raise LaunchError(
+                f"kernel {self.program.name!r} reads param {index} "
+                f"but only {len(self.params)} were passed"
+            )
+        return self.params[index]

@@ -1,0 +1,155 @@
+"""Global (device) memory model.
+
+A single flat 32-bit byte-addressed space backed by one numpy array.
+Buffers are bump-allocated with 256-byte alignment (matching GPU
+allocators); every access is bounds-checked against the allocated
+buffers, so a fault-corrupted pointer produces a :class:`MemoryFault`
+— the simulator's analogue of an Xid/page-fault, classified as DUE by
+the fault-injection engine.
+
+Only 32-bit word accesses exist (both our ISAs are 32-bit RISC cores);
+addresses must be word-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, MemoryFault
+
+#: First valid address; [0, _BASE) traps null/near-null dereferences.
+_BASE = 0x1000
+_ALIGN = 256
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One allocated device buffer."""
+
+    name: str
+    base: int       # byte address
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    @property
+    def words(self) -> int:
+        return self.nbytes // 4
+
+
+class GlobalMemory:
+    """Flat device memory with buffer-granular bounds checking."""
+
+    def __init__(self, capacity_bytes: int = 1 << 24):
+        if capacity_bytes % 4:
+            raise ConfigError("capacity must be a word multiple")
+        self.capacity = capacity_bytes
+        self._words = np.zeros(capacity_bytes // 4, dtype=np.uint32)
+        self._next = _BASE
+        self.buffers: dict[str, Buffer] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation and host-side access
+    # ------------------------------------------------------------------
+    def alloc(self, name: str, nbytes: int) -> Buffer:
+        """Allocate a zero-initialised buffer; returns its descriptor."""
+        if name in self.buffers:
+            raise ConfigError(f"buffer {name!r} already allocated")
+        if nbytes <= 0 or nbytes % 4:
+            raise ConfigError(f"buffer size {nbytes} must be a positive word multiple")
+        base = self._next
+        if base + nbytes > self.capacity:
+            raise ConfigError("device memory exhausted")
+        buffer = Buffer(name, base, nbytes)
+        self.buffers[name] = buffer
+        self._next = (base + nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        return buffer
+
+    def alloc_from(self, name: str, data: np.ndarray) -> Buffer:
+        """Allocate a buffer holding ``data`` (u32/i32/f32 array)."""
+        words = _as_words(data)
+        buffer = self.alloc(name, words.size * 4)
+        self._words[buffer.base // 4: buffer.base // 4 + words.size] = words
+        return buffer
+
+    def write_host(self, buffer: Buffer, data: np.ndarray) -> None:
+        """Host-side overwrite of an existing buffer."""
+        words = _as_words(data)
+        if words.size * 4 > buffer.nbytes:
+            raise ConfigError("host write larger than buffer")
+        self._words[buffer.base // 4: buffer.base // 4 + words.size] = words
+
+    def read_host(self, buffer: Buffer, dtype=np.uint32) -> np.ndarray:
+        """Host-side snapshot of a buffer's contents as ``dtype``."""
+        start = buffer.base // 4
+        words = self._words[start: start + buffer.words].copy()
+        return words.view(dtype) if dtype is not np.uint32 else words
+
+    def snapshot(self, names: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Copy of the named (default: all) buffers, for output compare."""
+        names = list(self.buffers) if names is None else names
+        return {name: self.read_host(self.buffers[name]) for name in names}
+
+    # ------------------------------------------------------------------
+    # Device-side (simulated) access
+    # ------------------------------------------------------------------
+    def _check(self, addresses: np.ndarray, kind: str) -> None:
+        if addresses.size == 0:
+            return
+        if np.any(addresses & 3):
+            bad = int(addresses[np.argmax((addresses & 3) != 0)])
+            raise MemoryFault(bad, f"misaligned {kind}")
+        valid = np.zeros(addresses.shape, dtype=bool)
+        for buffer in self.buffers.values():
+            valid |= (addresses >= buffer.base) & (addresses < buffer.end)
+        if not valid.all():
+            bad = int(addresses[np.argmin(valid)])
+            raise MemoryFault(bad, kind)
+
+    def load_words(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather 32-bit words at byte ``addresses`` (device semantics)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check(addresses, "load")
+        return self._words[addresses >> 2]
+
+    def store_words(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Scatter 32-bit words; duplicate addresses: highest lane wins."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check(addresses, "store")
+        self._words[addresses >> 2] = values.astype(np.uint32)
+
+    def atomic_add(self, addresses: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Word-wise atomic integer add; returns the old values (per lane).
+
+        Lanes hitting the same address are serialised in lane order, as
+        hardware atomics serialise conflicting lanes.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self._check(addresses, "atomic")
+        index = addresses >> 2
+        old = np.empty(addresses.size, dtype=np.uint32)
+        # Serialise in lane order for a deterministic old-value per lane.
+        for lane in range(addresses.size):
+            old[lane] = self._words[index[lane]]
+            self._words[index[lane]] = np.uint32(
+                (int(old[lane]) + int(values[lane])) & 0xFFFFFFFF
+            )
+        return old
+
+    def segments_touched(self, addresses: np.ndarray, segment_bytes: int = 128) -> int:
+        """Distinct memory segments hit — the coalescing metric."""
+        if addresses.size == 0:
+            return 0
+        return int(np.unique(np.asarray(addresses, dtype=np.int64) // segment_bytes).size)
+
+
+def _as_words(data: np.ndarray) -> np.ndarray:
+    """View any 4-byte-element array as little-endian u32 words."""
+    array = np.ascontiguousarray(data)
+    if array.dtype.itemsize != 4:
+        raise ConfigError(f"expected 4-byte elements, got {array.dtype}")
+    return array.reshape(-1).view(np.uint32)

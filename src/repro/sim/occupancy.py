@@ -1,0 +1,95 @@
+"""Occupancy calculator: how many blocks fit on one core.
+
+Mirrors the CUDA occupancy calculator / Multi2Sim's work-group limits:
+residency is bounded by the per-core block, warp, thread, register-file
+and local-memory limits, with vendor-specific allocation granularities.
+The same footprint numbers feed the reliability occupancy metric (the
+red lines of the paper's Fig. 1/2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import GpuConfig
+from repro.errors import LaunchError
+from repro.isa.base import Program
+from repro.sim.launch import LaunchConfig
+
+
+def _align(value: int, unit: int) -> int:
+    return (value + unit - 1) // unit * unit
+
+
+@dataclass(frozen=True)
+class BlockFootprint:
+    """Per-block resource usage on one core."""
+
+    threads: int
+    warps: int
+    reg_words_per_warp: int  # register-file words one warp occupies (rounded)
+    lmem_bytes: int          # local/shared bytes per block, after rounding
+
+    @property
+    def reg_words(self) -> int:
+        """Register-file words the whole block occupies."""
+        return self.reg_words_per_warp * self.warps
+
+
+def block_footprint(config: GpuConfig, program: Program,
+                    launch: LaunchConfig) -> BlockFootprint:
+    """Resources one block of ``launch`` occupies on ``config``."""
+    threads = launch.threads_per_block
+    warps = math.ceil(threads / config.warp_size)
+    regs_per_thread = max(1, program.registers_per_thread)
+    if regs_per_thread > config.max_registers_per_thread:
+        raise LaunchError(
+            f"kernel {program.name!r} needs {regs_per_thread} regs/thread, "
+            f"{config.name} allows {config.max_registers_per_thread}"
+        )
+    words_per_warp = _align(
+        regs_per_thread * config.warp_size, config.register_allocation_unit
+    )
+    lmem = _align(program.local_memory_bytes, config.local_allocation_unit) \
+        if program.local_memory_bytes else 0
+    return BlockFootprint(
+        threads=threads, warps=warps,
+        reg_words_per_warp=words_per_warp, lmem_bytes=lmem,
+    )
+
+
+def max_resident_blocks(config: GpuConfig, footprint: BlockFootprint) -> int:
+    """Blocks of this footprint that fit simultaneously on one core."""
+    limits = [
+        config.max_blocks_per_core,
+        config.max_threads_per_core // footprint.threads,
+        config.max_warps_per_core // footprint.warps,
+        config.registers_per_core // footprint.reg_words,
+    ]
+    if footprint.lmem_bytes:
+        limits.append(config.local_memory_bytes // footprint.lmem_bytes)
+    resident = min(limits)
+    if resident == 0:
+        raise LaunchError(
+            f"block footprint {footprint} does not fit on {config.name}"
+        )
+    return resident
+
+
+def theoretical_occupancy(config: GpuConfig, program: Program,
+                          launch: LaunchConfig) -> dict:
+    """Static occupancy summary (used by reports and tests)."""
+    footprint = block_footprint(config, program, launch)
+    resident = max_resident_blocks(config, footprint)
+    return {
+        "footprint": footprint,
+        "resident_blocks": resident,
+        "warp_occupancy": resident * footprint.warps / config.max_warps_per_core,
+        "register_occupancy": (
+            resident * footprint.reg_words / config.registers_per_core
+        ),
+        "lmem_occupancy": (
+            resident * footprint.lmem_bytes / config.local_memory_bytes
+        ),
+    }

@@ -1,0 +1,60 @@
+"""Per-core register file with bit-exact state and access tracing.
+
+The physical register file of one SM/CU is a flat array of 32-bit words
+organised in *rows* of ``warp_size`` words: row ``r`` holds one
+architectural register for the ``warp_size`` lanes of one warp, at words
+``r * warp_size .. (r+1) * warp_size - 1``. Warps receive contiguous row
+ranges at block dispatch (the same banked layout GPGPU-Sim and Multi2Sim
+model), so a physical (word, bit) coordinate — the fault-injection
+target space — maps directly onto (row, lane, bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.tracing import TraceSink
+
+
+class RegisterFile:
+    """One core's (vector) register file."""
+
+    def __init__(self, core_id: int, num_words: int, warp_size: int,
+                 sink: TraceSink | None = None):
+        if num_words % warp_size:
+            raise ConfigError("register file size not a row multiple")
+        self.core_id = core_id
+        self.warp_size = warp_size
+        self.num_words = num_words
+        self.num_rows = num_words // warp_size
+        self.data = np.zeros(num_words, dtype=np.uint32)
+        self.sink = sink
+
+    def read_row(self, row: int, mask: int, cycle: int) -> np.ndarray:
+        """Read a full row (copy); traces the active-lane ``mask``."""
+        start = row * self.warp_size
+        values = self.data[start: start + self.warp_size].copy()
+        if self.sink is not None and mask:
+            self.sink.on_reg_access(cycle, self.core_id, row, mask, False)
+        return values
+
+    def write_row(self, row: int, values: np.ndarray, lane_sel: np.ndarray,
+                  mask: int, cycle: int) -> None:
+        """Masked row write: lanes with ``lane_sel`` True take ``values``."""
+        start = row * self.warp_size
+        view = self.data[start: start + self.warp_size]
+        np.copyto(view, values.astype(np.uint32, copy=False), where=lane_sel)
+        if self.sink is not None and mask:
+            self.sink.on_reg_access(cycle, self.core_id, row, mask, True)
+
+    def flip_bit(self, word: int, bit: int) -> None:
+        """Invert one stored bit (fault injection)."""
+        if not 0 <= word < self.num_words:
+            raise ConfigError(f"register word {word} out of range")
+        self.data[word] ^= np.uint32(1 << bit)
+
+    def clear_rows(self, first_row: int, count: int) -> None:
+        """Zero rows on block allocation (fresh register state)."""
+        start = first_row * self.warp_size
+        self.data[start: start + count * self.warp_size] = 0

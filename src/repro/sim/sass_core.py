@@ -1,0 +1,246 @@
+"""NVIDIA SM model: SASS front-end on the generic core engine.
+
+Implements the warp context protocol consumed by
+:mod:`repro.isa.sass.semantics` (masked register/predicate/memory
+access) plus SIMT-stack divergence with immediate-post-dominator
+reconvergence.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.isa.base import Imm, Param, Pred, Reg
+from repro.isa.sass import semantics
+from repro.isa.sass.cfg import immediate_postdominators
+from repro.isa.sass.opcodes import SASS_OPCODES
+from repro.sim.core import CoreBase
+from repro.sim.simt_stack import NO_RECONV
+from repro.sim.warp import BlockState, SassWarp
+
+
+def _bools_to_mask(bools: np.ndarray) -> int:
+    mask = 0
+    for lane in np.flatnonzero(bools):
+        mask |= 1 << int(lane)
+    return mask
+
+
+def _mask_to_bools(mask: int, width: int) -> np.ndarray:
+    out = np.zeros(width, dtype=bool)
+    lane = 0
+    while mask:
+        if mask & 1:
+            out[lane] = True
+        mask >>= 1
+        lane += 1
+    return out
+
+
+class SassCore(CoreBase):
+    """One streaming multiprocessor executing SASS-like kernels."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._ipdom: dict[int, int] = {}
+        # Per-instruction context (the semantics handlers' `ctx` is self).
+        self._warp: SassWarp | None = None
+        self.eff_bool: np.ndarray | None = None
+        self.eff_mask: int = 0
+        self._cycle: int = 0
+
+    # ------------------------------------------------------------------
+    # CoreBase hooks
+    # ------------------------------------------------------------------
+    def _prepare_program(self, program) -> None:
+        self._ipdom = immediate_postdominators(program)
+
+    def _populate_warps(self, block: BlockState) -> None:
+        threads = self.launch.threads_per_block
+        warp_size = self.config.warp_size
+        rows_per_warp = self.footprint.reg_words_per_warp // warp_size
+        num_warps = math.ceil(threads / warp_size)
+        for slot in range(num_warps):
+            lane_offset = slot * warp_size
+            nlanes = min(warp_size, threads - lane_offset)
+            warp = SassWarp(
+                wid=self.next_warp_id(),
+                block=block,
+                lane_offset=lane_offset,
+                nlanes=nlanes,
+                warp_size=warp_size,
+                reg_base_row=block.reg_base_row + slot * rows_per_warp,
+            )
+            block.warps.append(warp)
+        block.unfinished = num_warps
+
+    def _execute(self, warp: SassWarp, t_issue: int) -> int:
+        program = self.program
+        pc = warp.stack.pc
+        inst = program.at(pc)
+        info = SASS_OPCODES[inst.opcode]
+
+        active_mask = warp.stack.active_mask
+        active_bool = _mask_to_bools(active_mask, self.config.warp_size)
+        if inst.guard is not None:
+            guard_bool = self._pred_values(warp, inst.guard)
+            eff_bool = active_bool & guard_bool
+        else:
+            eff_bool = active_bool
+        eff_mask = _bools_to_mask(eff_bool)
+
+        self._warp = warp
+        self.eff_bool = eff_bool
+        self.eff_mask = eff_mask
+        self._cycle = t_issue
+
+        latency = self.latency_of(info.latency_class)
+
+        if eff_mask == 0 and not (info.is_branch or info.is_exit or info.is_barrier):
+            warp.stack.advance(pc + 1)
+            return latency
+
+        # Corrupted values under fault injection legitimately overflow
+        # float arithmetic; hardware does not warn, neither do we.
+        with np.errstate(all="ignore"):
+            effect = semantics.execute(self, inst)
+
+        if effect.kind == "branch":
+            reconv = self._ipdom.get(pc, NO_RECONV)
+            warp.stack.branch(effect.mask, effect.target, pc + 1, reconv)
+        elif effect.kind == "exit":
+            warp.stack.exit_lanes(effect.mask)
+            if not warp.stack.empty and warp.stack.pc == pc:
+                warp.stack.advance(pc + 1)
+        elif effect.kind == "barrier":
+            warp.stack.advance(pc + 1)
+            self._arrive_barrier(warp, t_issue)
+        else:
+            warp.stack.advance(pc + 1)
+        return latency + effect.extra_cycles
+
+    # ------------------------------------------------------------------
+    # Warp-context protocol (used by repro.isa.sass.semantics)
+    # ------------------------------------------------------------------
+    def resolve_label(self, ref) -> int:
+        return self.program.resolve_label(ref)
+
+    def read_reg(self, reg: Reg) -> np.ndarray:
+        if reg.index < 0:  # RZ
+            return np.zeros(self.config.warp_size, dtype=np.uint32)
+        row = self._warp.reg_base_row + reg.index
+        return self.regfile.read_row(row, self.eff_mask, self._cycle)
+
+    def write_reg(self, reg: Reg, values: np.ndarray) -> None:
+        if reg.index < 0:  # RZ: discard
+            return
+        row = self._warp.reg_base_row + reg.index
+        self.regfile.write_row(
+            row, values, self.eff_bool, self.eff_mask, self._cycle
+        )
+
+    def _pred_values(self, warp: SassWarp, pred: Pred) -> np.ndarray:
+        if pred.index < 0:  # PT
+            values = np.ones(self.config.warp_size, dtype=bool)
+        else:
+            values = warp.preds[pred.index].copy()
+        return ~values if pred.negated else values
+
+    def read_pred(self, pred: Pred) -> np.ndarray:
+        return self._pred_values(self._warp, pred)
+
+    def write_pred(self, pred: Pred, values: np.ndarray) -> None:
+        if pred.index < 0:
+            return
+        np.copyto(self._warp.preds[pred.index], values, where=self.eff_bool)
+
+    def read_operand(self, op) -> np.ndarray:
+        if isinstance(op, Reg):
+            return self.read_reg(op)
+        if isinstance(op, Imm):
+            return np.full(self.config.warp_size, op.value, dtype=np.uint32)
+        if isinstance(op, Param):
+            word = self.launch.param_word(op.index)
+            return np.full(self.config.warp_size, word, dtype=np.uint32)
+        raise TypeError(f"cannot read operand {op!r}")
+
+    def special(self, name: str) -> np.ndarray:
+        cache = self._warp.special_cache()
+        if name not in cache:
+            cache[name] = self._compute_special(self._warp, name)
+        return cache[name]
+
+    def _compute_special(self, warp: SassWarp, name: str) -> np.ndarray:
+        size = self.config.warp_size
+        bx, by = self.launch.block
+        gx, gy = self.launch.grid
+        flat = warp.lane_offset + np.arange(size, dtype=np.uint32)
+        if name == "SR_TID_X":
+            return flat % np.uint32(bx)
+        if name == "SR_TID_Y":
+            return flat // np.uint32(bx)
+        if name == "SR_CTAID_X":
+            return np.full(size, warp.block.index[0], dtype=np.uint32)
+        if name == "SR_CTAID_Y":
+            return np.full(size, warp.block.index[1], dtype=np.uint32)
+        if name == "SR_NTID_X":
+            return np.full(size, bx, dtype=np.uint32)
+        if name == "SR_NTID_Y":
+            return np.full(size, by, dtype=np.uint32)
+        if name == "SR_NCTAID_X":
+            return np.full(size, gx, dtype=np.uint32)
+        if name == "SR_NCTAID_Y":
+            return np.full(size, gy, dtype=np.uint32)
+        if name == "SR_LANEID":
+            return np.arange(size, dtype=np.uint32)
+        if name == "SR_WARPID":
+            return np.full(size, warp.lane_offset // size, dtype=np.uint32)
+        raise KeyError(f"unknown special register {name}")
+
+    # ------------------------------------------------------------------
+    # Memory (global addresses are byte addresses; values are u32 words)
+    # ------------------------------------------------------------------
+    def global_load(self, addresses: np.ndarray):
+        sel = self.eff_bool
+        out = np.zeros(self.config.warp_size, dtype=np.uint32)
+        selected = addresses[sel]
+        out[sel] = self.gmem.load_words(selected)
+        return out, self._coalescing_extra(selected)
+
+    def global_store(self, addresses: np.ndarray, values: np.ndarray) -> int:
+        sel = self.eff_bool
+        selected = addresses[sel]
+        self.gmem.store_words(selected, values[sel])
+        return self._coalescing_extra(selected)
+
+    def global_atomic_add(self, addresses: np.ndarray, values: np.ndarray):
+        sel = self.eff_bool
+        out = np.zeros(self.config.warp_size, dtype=np.uint32)
+        selected = addresses[sel]
+        out[sel] = self.gmem.atomic_add(selected, values[sel])
+        return out, self._coalescing_extra(selected)
+
+    def _shared_addrs(self, addresses: np.ndarray) -> np.ndarray:
+        return addresses + self._warp.block.lmem_base
+
+    def shared_load(self, addresses: np.ndarray) -> np.ndarray:
+        sel = self.eff_bool
+        out = np.zeros(self.config.warp_size, dtype=np.uint32)
+        out[sel] = self.lmem.load(self._shared_addrs(addresses)[sel], self._cycle)
+        return out
+
+    def shared_store(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        sel = self.eff_bool
+        self.lmem.store(
+            self._shared_addrs(addresses)[sel], values[sel], self._cycle
+        )
+
+    def shared_atomic_add(self, addresses: np.ndarray, values: np.ndarray):
+        sel = self.eff_bool
+        out = np.zeros(self.config.warp_size, dtype=np.uint32)
+        out[sel] = self.lmem.atomic_add(
+            self._shared_addrs(addresses)[sel], values[sel], self._cycle
+        )
+        return out

@@ -1,0 +1,78 @@
+"""Per-core local/shared memory (NVIDIA shared memory / AMD LDS).
+
+Word-addressed storage with scatter/gather access, bounds checking
+against the core's aperture, word-granular access tracing, and a
+deterministic lane-serialised atomic add (the shared-memory atomic the
+histogram benchmark uses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, LocalMemoryFault
+from repro.sim.tracing import TraceSink
+
+
+class LocalMemory:
+    """One core's shared memory / LDS."""
+
+    def __init__(self, core_id: int, nbytes: int, sink: TraceSink | None = None):
+        if nbytes % 4:
+            raise ConfigError("local memory size must be a word multiple")
+        self.core_id = core_id
+        self.nbytes = nbytes
+        self.num_words = nbytes // 4
+        self.data = np.zeros(self.num_words, dtype=np.uint32)
+        self.sink = sink
+
+    def _word_index(self, byte_addrs: np.ndarray) -> np.ndarray:
+        addrs = np.asarray(byte_addrs, dtype=np.int64)
+        if addrs.size and np.any(addrs & 3):
+            bad = int(addrs[np.argmax((addrs & 3) != 0)])
+            raise LocalMemoryFault(bad, self.nbytes)
+        if addrs.size and (np.any(addrs < 0) or np.any(addrs >= self.nbytes)):
+            outside = (addrs < 0) | (addrs >= self.nbytes)
+            raise LocalMemoryFault(int(addrs[np.argmax(outside)]), self.nbytes)
+        return addrs >> 2
+
+    def load(self, byte_addrs: np.ndarray, cycle: int) -> np.ndarray:
+        """Gather words at per-lane byte addresses."""
+        index = self._word_index(byte_addrs)
+        if self.sink is not None and index.size:
+            self.sink.on_lmem_access(cycle, self.core_id, index, False)
+        return self.data[index]
+
+    def store(self, byte_addrs: np.ndarray, values: np.ndarray, cycle: int) -> None:
+        """Scatter words; duplicate addresses resolve highest-lane-wins."""
+        index = self._word_index(byte_addrs)
+        self.data[index] = values.astype(np.uint32, copy=False)
+        if self.sink is not None and index.size:
+            self.sink.on_lmem_access(cycle, self.core_id, index, True)
+
+    def atomic_add(self, byte_addrs: np.ndarray, values: np.ndarray,
+                   cycle: int) -> np.ndarray:
+        """Lane-serialised atomic integer add; returns old values."""
+        index = self._word_index(byte_addrs)
+        if self.sink is not None and index.size:
+            self.sink.on_lmem_access(cycle, self.core_id, index, False)
+        old = np.empty(index.size, dtype=np.uint32)
+        for lane in range(index.size):
+            old[lane] = self.data[index[lane]]
+            self.data[index[lane]] = np.uint32(
+                (int(old[lane]) + int(values[lane])) & 0xFFFFFFFF
+            )
+        if self.sink is not None and index.size:
+            self.sink.on_lmem_access(cycle, self.core_id, index, True)
+        return old
+
+    def flip_bit(self, word: int, bit: int) -> None:
+        """Invert one stored bit (fault injection)."""
+        if not 0 <= word < self.num_words:
+            raise ConfigError(f"local memory word {word} out of range")
+        self.data[word] ^= np.uint32(1 << bit)
+
+    def clear_range(self, byte_offset: int, nbytes: int) -> None:
+        """Zero a block's aperture at allocation."""
+        start = byte_offset // 4
+        self.data[start: start + nbytes // 4] = 0

@@ -1,0 +1,109 @@
+"""Access-trace plumbing.
+
+The reliability analyses (ACE lifetime analysis, fault-injection pruning,
+occupancy measurement) all consume the same stream of storage-access
+events emitted by the simulators:
+
+* register-file accesses at *row* granularity — one row is the
+  ``warp_size`` consecutive 32-bit words holding one architectural
+  register of one warp/wavefront — with a lane bitmask;
+* local/shared-memory accesses as arrays of word indices (scatter/gather
+  capable);
+* block (CTA / work-group) allocate / release events carrying the
+  resources the block occupies.
+
+Sinks accumulate *online*: nothing stores the full event stream, so a
+traced golden run costs O(structure) memory, not O(instructions). For
+debugging and tests, :class:`EventRecorder` keeps the raw events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TraceSink:
+    """Interface for consumers of storage-access events.
+
+    ``cycle`` is always chip-level (launch-continuous) time. ``core`` is
+    the SM/CU index. All hooks have default no-op implementations so
+    sinks override only what they need.
+    """
+
+    def on_reg_access(self, cycle: int, core: int, row: int, mask: int,
+                      is_write: bool) -> None:
+        """A register row (``warp_size`` words) was read or written.
+
+        ``mask`` is the active-lane bitmask (lane 0 = LSB): lane ``l`` is
+        involved iff bit ``l`` is set, and the touched physical word is
+        ``row * warp_size + l`` within the core's register file.
+        """
+
+    def on_lmem_access(self, cycle: int, core: int, words: np.ndarray,
+                       is_write: bool) -> None:
+        """Local/shared memory words (array of word indices) accessed."""
+
+    def on_block_alloc(self, cycle: int, core: int, reg_words: int,
+                       lmem_bytes: int) -> None:
+        """A block became resident, occupying the given resources."""
+
+    def on_block_free(self, cycle: int, core: int, reg_words: int,
+                      lmem_bytes: int) -> None:
+        """A resident block retired, releasing its resources."""
+
+    def on_run_end(self, cycle: int) -> None:
+        """Simulation finished; ``cycle`` is the final chip time."""
+
+
+class CompositeSink(TraceSink):
+    """Fan out events to several sinks."""
+
+    def __init__(self, *sinks: TraceSink):
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def on_reg_access(self, cycle, core, row, mask, is_write):
+        for sink in self.sinks:
+            sink.on_reg_access(cycle, core, row, mask, is_write)
+
+    def on_lmem_access(self, cycle, core, words, is_write):
+        for sink in self.sinks:
+            sink.on_lmem_access(cycle, core, words, is_write)
+
+    def on_block_alloc(self, cycle, core, reg_words, lmem_bytes):
+        for sink in self.sinks:
+            sink.on_block_alloc(cycle, core, reg_words, lmem_bytes)
+
+    def on_block_free(self, cycle, core, reg_words, lmem_bytes):
+        for sink in self.sinks:
+            sink.on_block_free(cycle, core, reg_words, lmem_bytes)
+
+    def on_run_end(self, cycle):
+        for sink in self.sinks:
+            sink.on_run_end(cycle)
+
+
+class EventRecorder(TraceSink):
+    """Keep every event verbatim (tests / debugging only)."""
+
+    def __init__(self):
+        self.reg_events: list[tuple] = []    # (cycle, core, row, mask, is_write)
+        self.lmem_events: list[tuple] = []   # (cycle, core, tuple(words), is_write)
+        self.block_events: list[tuple] = []  # (cycle, core, reg_words, lmem_bytes, kind)
+        self.end_cycle: int | None = None
+
+    def on_reg_access(self, cycle, core, row, mask, is_write):
+        self.reg_events.append((cycle, core, row, mask, is_write))
+
+    def on_lmem_access(self, cycle, core, words, is_write):
+        self.lmem_events.append(
+            (cycle, core, tuple(int(w) for w in np.atleast_1d(words)), is_write)
+        )
+
+    def on_block_alloc(self, cycle, core, reg_words, lmem_bytes):
+        self.block_events.append((cycle, core, reg_words, lmem_bytes, "alloc"))
+
+    def on_block_free(self, cycle, core, reg_words, lmem_bytes):
+        self.block_events.append((cycle, core, reg_words, lmem_bytes, "free"))
+
+    def on_run_end(self, cycle):
+        self.end_cycle = cycle

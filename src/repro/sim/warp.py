@@ -1,0 +1,91 @@
+"""Warp / wavefront / thread-block runtime state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits import mask_lanes
+from repro.sim.simt_stack import SimtStack
+
+#: Number of SASS predicate registers per thread (P0..P6).
+NUM_PREDICATES = 7
+
+
+class BlockState:
+    """One resident thread block (CTA / work-group)."""
+
+    def __init__(self, linear_id: int, index: tuple, reg_base_row: int,
+                 lmem_base: int, footprint):
+        self.linear_id = linear_id
+        self.index = index              # (bx, by)
+        self.reg_base_row = reg_base_row
+        self.lmem_base = lmem_base      # byte offset in the core's local memory
+        self.footprint = footprint
+        self.warps: list = []
+        self.unfinished = 0
+
+    def barrier_complete(self) -> bool:
+        """True when every non-exited warp has arrived at the barrier."""
+        live = [warp for warp in self.warps if not warp.done]
+        return bool(live) and all(warp.at_barrier for warp in live)
+
+
+class WarpBase:
+    """State common to NVIDIA warps and AMD wavefronts."""
+
+    def __init__(self, wid: int, block: BlockState, lane_offset: int,
+                 nlanes: int, warp_size: int, reg_base_row: int):
+        self.wid = wid                  # core-local warp slot id
+        self.block = block
+        self.lane_offset = lane_offset  # first flat thread id within block
+        self.nlanes = nlanes
+        self.warp_size = warp_size
+        self.reg_base_row = reg_base_row
+        self.ready_cycle = 0
+        self.last_issue = -1
+        self.at_barrier = False
+        self.barrier_arrival = 0
+
+    @property
+    def done(self) -> bool:
+        raise NotImplementedError
+
+
+class SassWarp(WarpBase):
+    """NVIDIA warp: SIMT stack divergence + predicate registers."""
+
+    def __init__(self, wid, block, lane_offset, nlanes, warp_size, reg_base_row):
+        super().__init__(wid, block, lane_offset, nlanes, warp_size, reg_base_row)
+        self.stack = SimtStack(mask_lanes(nlanes))
+        self.preds = np.zeros((NUM_PREDICATES, warp_size), dtype=bool)
+        self._specials: dict[str, np.ndarray] = {}
+
+    @property
+    def done(self) -> bool:
+        return self.stack.empty
+
+    @property
+    def pc(self) -> int:
+        return self.stack.pc
+
+    def special_cache(self) -> dict:
+        return self._specials
+
+
+class SiWavefront(WarpBase):
+    """AMD wavefront: scalar register file + EXEC-mask divergence."""
+
+    def __init__(self, wid, block, lane_offset, nlanes, warp_size,
+                 reg_base_row, num_sgprs: int):
+        super().__init__(wid, block, lane_offset, nlanes, warp_size, reg_base_row)
+        self.pc = 0
+        self.valid_mask = mask_lanes(nlanes)
+        self.exec_mask = self.valid_mask
+        self.vcc = 0
+        self.scc = False
+        self.sgprs = np.zeros(max(num_sgprs, 8), dtype=np.uint32)
+        self.finished = False
+
+    @property
+    def done(self) -> bool:
+        return self.finished

@@ -1,0 +1,105 @@
+"""Shared fixtures: small chips and helpers for running inline kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.isa.sass.parser import assemble_sass
+from repro.isa.si.parser import assemble_si
+from repro.sim.gpu import Gpu
+from repro.sim.launch import LaunchConfig, pack_params
+
+#: A small NVIDIA-style chip: fast to simulate, big enough for real blocks.
+MINI_NVIDIA = GpuConfig(
+    name="Mini NVIDIA",
+    vendor="nvidia",
+    isa="sass",
+    microarchitecture="mini",
+    num_cores=2,
+    warp_size=32,
+    registers_per_core=8192,
+    local_memory_bytes=8 * 1024,
+    max_threads_per_core=768,
+    max_blocks_per_core=4,
+    max_warps_per_core=24,
+    shader_clock_hz=1e9,
+    register_allocation_unit=32,
+    local_allocation_unit=128,
+    num_schedulers=1,
+    latency=LatencyModel(),
+)
+
+#: A small AMD-style chip.
+MINI_AMD = GpuConfig(
+    name="Mini AMD",
+    vendor="amd",
+    isa="si",
+    microarchitecture="mini",
+    num_cores=2,
+    warp_size=64,
+    registers_per_core=4096,
+    local_memory_bytes=8 * 1024,
+    max_threads_per_core=512,
+    max_blocks_per_core=4,
+    max_warps_per_core=8,
+    shader_clock_hz=1e9,
+    register_allocation_unit=64,
+    local_allocation_unit=128,
+    num_schedulers=1,
+    latency=LatencyModel(),
+)
+
+
+@pytest.fixture
+def mini_nvidia() -> GpuConfig:
+    return MINI_NVIDIA
+
+
+@pytest.fixture
+def mini_amd() -> GpuConfig:
+    return MINI_AMD
+
+
+def run_sass(source: str, buffers: dict, params: list, grid=(1,), block=(32,),
+             config: GpuConfig = MINI_NVIDIA, scheduler: str = "rr",
+             sink=None, faults=None, watchdog=None):
+    """Assemble + run a SASS kernel; returns (gpu, {buffer: u32 array}).
+
+    ``buffers`` maps name -> ndarray (initial data) or int (zeroed bytes).
+    ``params`` entries may be buffer names (replaced by base addresses)
+    or numbers.
+    """
+    return _run(assemble_sass(source), buffers, params, grid, block, config,
+                scheduler, sink, faults, watchdog)
+
+
+def run_si(source: str, buffers: dict, params: list, grid=(1,), block=(64,),
+           config: GpuConfig = MINI_AMD, scheduler: str = "rr",
+           sink=None, faults=None, watchdog=None):
+    """Assemble + run an SI kernel; see :func:`run_sass`."""
+    return _run(assemble_si(source), buffers, params, grid, block, config,
+                scheduler, sink, faults, watchdog)
+
+
+def _run(program, buffers, params, grid, block, config, scheduler, sink,
+         faults, watchdog):
+    gpu = Gpu(config, scheduler=scheduler, sink=sink)
+    bases = {}
+    for name, spec in buffers.items():
+        if isinstance(spec, int):
+            bases[name] = gpu.mem.alloc(name, spec).base
+        else:
+            bases[name] = gpu.mem.alloc_from(name, np.asarray(spec)).base
+    resolved = [bases.get(p, p) if isinstance(p, str) else p for p in params]
+    if faults:
+        gpu.set_faults(faults)
+    if watchdog:
+        gpu.set_watchdog(watchdog)
+    launch = LaunchConfig(
+        program=program, grid=grid, block=block, params=pack_params(*resolved)
+    )
+    gpu.launch(launch)
+    gpu.finish()
+    return gpu, gpu.mem.snapshot()

@@ -1,0 +1,159 @@
+"""Chip configuration, preset and scaling tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import (
+    GEFORCE_GTX_480,
+    GPU_PRESETS,
+    HD_RADEON_7970,
+    QUADRO_FX_5600,
+    QUADRO_FX_5800,
+    get_gpu,
+    get_scaled_gpu,
+    list_gpus,
+    list_scaled_gpus,
+    scaled_config,
+)
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.errors import ConfigError
+
+
+class TestPresets:
+    def test_four_chips(self):
+        assert len(GPU_PRESETS) == 4
+        assert [g.name for g in list_gpus()] == [
+            "HD Radeon 7970", "Quadro FX 5600", "Quadro FX 5800",
+            "GeForce GTX 480",
+        ]
+
+    def test_vendor_isa_pairing(self):
+        for config in list_gpus():
+            if config.vendor == "nvidia":
+                assert config.isa == "sass"
+                assert config.warp_size == 32
+            else:
+                assert config.isa == "si"
+                assert config.warp_size == 64
+
+    def test_datasheet_sizes(self):
+        # Register file: 8K/16K/32K 32-bit regs per SM; 64K words per CU.
+        assert QUADRO_FX_5600.registers_per_core == 8192
+        assert QUADRO_FX_5800.registers_per_core == 16384
+        assert GEFORCE_GTX_480.registers_per_core == 32768
+        assert HD_RADEON_7970.registers_per_core == 65536
+        # Shared/LDS: 16K/16K/48K/64K bytes.
+        assert QUADRO_FX_5600.local_memory_bytes == 16 * 1024
+        assert GEFORCE_GTX_480.local_memory_bytes == 48 * 1024
+        assert HD_RADEON_7970.local_memory_bytes == 64 * 1024
+
+    def test_core_counts(self):
+        assert QUADRO_FX_5600.num_cores == 16
+        assert QUADRO_FX_5800.num_cores == 30
+        assert GEFORCE_GTX_480.num_cores == 15
+        assert HD_RADEON_7970.num_cores == 32
+
+    def test_aliases(self):
+        assert get_gpu("gtx480") is GEFORCE_GTX_480
+        assert get_gpu("fermi") is GEFORCE_GTX_480
+        assert get_gpu("g80") is QUADRO_FX_5600
+        assert get_gpu("GT200") is QUADRO_FX_5800
+        assert get_gpu("hd7970") is HD_RADEON_7970
+        assert get_gpu("Tahiti") is HD_RADEON_7970
+        assert get_gpu("GeForce GTX 480") is GEFORCE_GTX_480
+
+    def test_unknown_gpu(self):
+        with pytest.raises(ConfigError, match="unknown GPU"):
+            get_gpu("voodoo2")
+
+
+class TestStructureBits:
+    def test_register_file_bits(self):
+        # GTX 480: 15 SMs x 32768 regs x 32 bits.
+        assert GEFORCE_GTX_480.register_file_bits == 15 * 32768 * 32
+
+    def test_local_memory_bits(self):
+        assert QUADRO_FX_5600.local_memory_bits == 16 * 16 * 1024 * 8
+
+    def test_structure_bits_lookup(self):
+        config = GEFORCE_GTX_480
+        assert config.structure_bits("register_file") == config.register_file_bits
+        assert config.structure_bits("local_memory") == config.local_memory_bits
+        with pytest.raises(ConfigError):
+            config.structure_bits("cache")
+
+    def test_describe_mentions_name(self):
+        assert "GTX 480" in GEFORCE_GTX_480.describe()
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="x", vendor="nvidia", isa="sass", microarchitecture="m",
+            num_cores=1, warp_size=32, registers_per_core=1024,
+            local_memory_bytes=1024, max_threads_per_core=256,
+            max_blocks_per_core=4, max_warps_per_core=8,
+            shader_clock_hz=1e9,
+        )
+
+    def test_bad_vendor(self):
+        kwargs = self._base_kwargs()
+        kwargs["vendor"] = "intel"
+        with pytest.raises(ConfigError):
+            GpuConfig(**kwargs)
+
+    def test_bad_warp_size(self):
+        kwargs = self._base_kwargs()
+        kwargs["warp_size"] = 16
+        with pytest.raises(ConfigError):
+            GpuConfig(**kwargs)
+
+    def test_nonpositive_cores(self):
+        kwargs = self._base_kwargs()
+        kwargs["num_cores"] = 0
+        with pytest.raises(ConfigError):
+            GpuConfig(**kwargs)
+
+    def test_threads_below_warp(self):
+        kwargs = self._base_kwargs()
+        kwargs["max_threads_per_core"] = 16
+        with pytest.raises(ConfigError):
+            GpuConfig(**kwargs)
+
+    def test_negative_latency(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(alu=-1)
+
+    def test_zero_issue_cycles(self):
+        with pytest.raises(ConfigError):
+            LatencyModel(issue_cycles=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GEFORCE_GTX_480.num_cores = 1
+
+
+class TestScaling:
+    def test_scaled_core_counts(self):
+        scaled = {g.name: g for g in list_scaled_gpus()}
+        assert scaled["HD Radeon 7970 (scaled)"].num_cores == 8
+        assert scaled["Quadro FX 5600 (scaled)"].num_cores == 4
+        assert scaled["Quadro FX 5800 (scaled)"].num_cores == 8
+        assert scaled["GeForce GTX 480 (scaled)"].num_cores == 4
+
+    def test_per_core_quantities_unchanged(self):
+        for full, scaled in zip(list_gpus(), list_scaled_gpus()):
+            assert scaled.registers_per_core == full.registers_per_core
+            assert scaled.local_memory_bytes == full.local_memory_bytes
+            assert scaled.warp_size == full.warp_size
+            assert scaled.shader_clock_hz == full.shader_clock_hz
+            assert scaled.latency == full.latency
+
+    def test_get_scaled_by_alias(self):
+        assert get_scaled_gpu("gtx480").num_cores == 4
+        assert get_scaled_gpu("GeForce GTX 480 (scaled)").num_cores == 4
+
+    def test_scaled_config_minimum(self):
+        tiny = scaled_config(get_gpu("gtx480"), core_divisor=100)
+        assert tiny.num_cores == 2

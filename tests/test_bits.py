@@ -1,0 +1,109 @@
+"""Unit + property tests for repro.bits."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import bits
+
+
+class TestWrapping:
+    def test_u32_wraps(self):
+        assert bits.u32(2 ** 32) == 0
+        assert bits.u32(-1) == 0xFFFFFFFF
+        assert bits.u32(5) == 5
+
+    def test_to_signed(self):
+        assert bits.to_signed(0xFFFFFFFF) == -1
+        assert bits.to_signed(0x80000000) == -(2 ** 31)
+        assert bits.to_signed(0x7FFFFFFF) == 2 ** 31 - 1
+
+    def test_from_signed(self):
+        assert bits.from_signed(-1) == 0xFFFFFFFF
+        assert bits.from_signed(123) == 123
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_roundtrip(self, value):
+        assert bits.to_signed(bits.from_signed(value)) == value
+
+
+class TestFloatBits:
+    def test_known_patterns(self):
+        assert bits.float_to_bits(1.0) == 0x3F800000
+        assert bits.float_to_bits(-2.0) == 0xC0000000
+        assert bits.float_to_bits(0.0) == 0
+        assert bits.bits_to_float(0x3F800000) == 1.0
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip(self, value):
+        assert bits.bits_to_float(bits.float_to_bits(value)) == value
+
+    def test_nan_pattern_preserved(self):
+        pattern = 0x7FC00001
+        assert math.isnan(bits.bits_to_float(pattern))
+
+
+class TestFlipBit:
+    def test_flip_lsb(self):
+        assert bits.flip_bit(0, 0) == 1
+        assert bits.flip_bit(1, 0) == 0
+
+    def test_flip_msb(self):
+        assert bits.flip_bit(0, 31) == 0x80000000
+
+    def test_double_flip_is_identity(self):
+        for bit in (0, 7, 31):
+            assert bits.flip_bit(bits.flip_bit(0xDEADBEEF, bit), bit) == 0xDEADBEEF
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=31))
+    def test_flip_changes_exactly_one_bit(self, word, bit):
+        flipped = bits.flip_bit(word, bit)
+        assert bits.popcount(word ^ flipped) == 1
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits.flip_bit(0, 32)
+        with pytest.raises(ValueError):
+            bits.flip_bit(0, -1)
+
+
+class TestMasks:
+    def test_mask_lanes(self):
+        assert bits.mask_lanes(0) == 0
+        assert bits.mask_lanes(1) == 1
+        assert bits.mask_lanes(32) == 0xFFFFFFFF
+        assert bits.mask_lanes(64) == (1 << 64) - 1
+
+    def test_mask_lanes_negative(self):
+        with pytest.raises(ValueError):
+            bits.mask_lanes(-1)
+
+    def test_lanes_of(self):
+        assert bits.lanes_of(0b1011) == [0, 1, 3]
+        assert bits.lanes_of(0) == []
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_lanes_of_popcount(self, mask):
+        assert len(bits.lanes_of(mask)) == bits.popcount(mask)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_mask_lanes_roundtrip(self, n):
+        assert bits.lanes_of(bits.mask_lanes(n)) == list(range(n))
+
+
+class TestWordSerialisation:
+    def test_words_to_bytes_roundtrip(self):
+        words = np.array([0, 1, 0xDEADBEEF, 0xFFFFFFFF], dtype=np.uint32)
+        assert np.array_equal(bits.bytes_to_words(bits.words_to_bytes(words)), words)
+
+    def test_bytes_to_words_pads(self):
+        out = bits.bytes_to_words(b"\x01\x02\x03")
+        assert out.size == 1
+        assert out[0] == 0x00030201
+
+    def test_f32(self):
+        assert bits.f32(0.1) == np.float32(0.1)

@@ -1,0 +1,72 @@
+"""Control-flow analysis (immediate post-dominator) tests."""
+
+from repro.isa.sass.parser import assemble_sass
+from repro.isa.sass.cfg import build_cfg, immediate_postdominators
+from repro.sim.simt_stack import NO_RECONV
+
+
+def asm(body: str):
+    return assemble_sass(f".kernel t\n.regs 8\n{body}\n")
+
+
+class TestIpdom:
+    def test_if_then_reconverges_at_join(self):
+        program = asm(
+            "ISETP.LT P0, R0, R1\n"   # 0
+            "@P0 BRA skip\n"          # 1
+            "IADD R0, R0, 1\n"        # 2
+            "skip:\n"
+            "IADD R0, R0, 2\n"        # 3
+            "EXIT"                    # 4
+        )
+        table = immediate_postdominators(program)
+        assert table[1] == 3
+
+    def test_if_else_reconverges_after_both(self):
+        program = asm(
+            "@P0 BRA else_b\n"        # 0
+            "IADD R0, R0, 1\n"        # 1
+            "BRA join\n"              # 2
+            "else_b:\n"
+            "IADD R0, R0, 2\n"        # 3
+            "join:\n"
+            "EXIT"                    # 4
+        )
+        table = immediate_postdominators(program)
+        assert table[0] == 4
+        assert table[2] == 4  # unconditional branch trivially post-dominated
+
+    def test_loop_backedge(self):
+        program = asm(
+            "loop:\n"
+            "IADD R0, R0, 1\n"        # 0
+            "ISETP.LT P0, R0, R1\n"   # 1
+            "@P0 BRA loop\n"          # 2
+            "EXIT"                    # 3
+        )
+        table = immediate_postdominators(program)
+        assert table[2] == 3
+
+    def test_branch_to_exit_no_reconv(self):
+        program = asm(
+            "@P0 BRA done\n"          # 0
+            "EXIT\n"                  # 1
+            "done:\n"
+            "EXIT"                    # 2
+        )
+        table = immediate_postdominators(program)
+        assert table[0] == NO_RECONV
+
+    def test_guarded_exit_edges(self):
+        program = asm(
+            "@P0 EXIT\n"              # 0
+            "IADD R0, R0, 1\n"        # 1
+            "EXIT"                    # 2
+        )
+        graph = build_cfg(program)
+        assert graph.has_edge(0, "exit")
+        assert graph.has_edge(0, 1)
+
+    def test_straightline_has_no_branches(self):
+        program = asm("IADD R0, R0, 1\nEXIT")
+        assert immediate_postdominators(program) == {}

@@ -1,0 +1,202 @@
+"""End-to-end fault-injection behaviour: flips propagate, crash, or mask.
+
+Includes the pruning-exactness property — the core validation of the
+GUFI-style acceleration: every fault the resolver prunes as dead must,
+when actually re-simulated, produce bit-identical outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimFault, WatchdogTimeout
+from repro.kernels.registry import get_workload
+from repro.kernels.workload import run_workload
+from repro.reliability.fi import run_golden, run_fi_campaign
+from repro.reliability.liveness import FaultSiteResolver
+from repro.reliability.outcomes import Outcome, classify_outputs
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, FaultPlan, sample_faults
+from repro.sim.gpu import Gpu
+from repro.sim.tracing import EventRecorder
+from tests.conftest import MINI_NVIDIA, run_sass
+
+COPY_KERNEL = """
+.kernel copy
+.regs 8
+.smem 0
+    S2R R0, SR_TID_X
+    SHL R1, R0, 2
+    IADD R2, R1, c[0]
+    LDG R3, [R2]
+    NOP
+    NOP
+    NOP
+    IADD R4, R1, c[1]
+    STG [R4], R3
+    EXIT
+"""
+
+
+def _trace_r3_row(data):
+    """Find the register row and cycles where R3 of warp 0 lives."""
+    recorder = EventRecorder()
+    gpu, snap = run_sass(COPY_KERNEL, {"in": data, "out": data.size * 4},
+                         ["in", "out"], sink=recorder)
+    return recorder, snap
+
+
+class TestDirectedInjection:
+    def test_flip_in_live_register_corrupts_output(self):
+        # Values start at 100 so a zeroed output word is never a false
+        # match for the expected data.
+        data = np.arange(100, 132, dtype=np.uint32)
+        recorder, golden = _trace_r3_row(data)
+        # R3 is written by the LDG (a read of the in buffer, then a reg
+        # write); find a register row written then read again (the STG
+        # source read), and flip a bit between the two events.
+        writes = [e for e in recorder.reg_events if e[4]]
+        reads = [e for e in recorder.reg_events if not e[4]]
+        target = None
+        for wcycle, wcore, wrow, wmask, _ in writes:
+            later = [r for r in reads if r[2] == wrow and r[0] > wcycle]
+            if later:
+                target = (wcore, wrow, wcycle, later[0][0])
+                break
+        assert target is not None
+        core, row, wcycle, rcycle = target
+        plan = FaultPlan(REGISTER_FILE, core, row * 32, 0, wcycle + 1)
+        gpu, snap = run_sass(COPY_KERNEL, {"in": data, "out": data.size * 4},
+                             ["in", "out"], faults=[plan])
+        assert not np.array_equal(snap["out"], golden["out"])
+
+    def test_flip_after_last_read_is_masked(self):
+        data = np.arange(32, dtype=np.uint32)
+        recorder, golden = _trace_r3_row(data)
+        last_cycle = max(e[0] for e in recorder.reg_events)
+        plan = FaultPlan(REGISTER_FILE, 0, 0, 0, last_cycle + 1000)
+        gpu, snap = run_sass(COPY_KERNEL, {"in": data, "out": data.size * 4},
+                             ["in", "out"], faults=[plan])
+        assert np.array_equal(snap["out"], golden["out"])
+
+    def test_flip_in_unallocated_register_is_masked(self):
+        data = np.arange(32, dtype=np.uint32)
+        _, golden = _trace_r3_row(data)
+        # The mini chip has 64 rows; the copy kernel's single warp uses
+        # the first 8. Row 50 is never allocated.
+        plan = FaultPlan(REGISTER_FILE, 0, 50 * 32 + 5, 17, 3)
+        gpu, snap = run_sass(COPY_KERNEL, {"in": data, "out": data.size * 4},
+                             ["in", "out"], faults=[plan])
+        assert np.array_equal(snap["out"], golden["out"])
+
+    def test_address_register_flip_can_crash(self):
+        """A high bit flipped in an address register produces a DUE."""
+        data = np.arange(32, dtype=np.uint32)
+        recorder, _ = _trace_r3_row(data)
+        # Flip a high bit of every plausible row/cycle until one faults.
+        crashed = False
+        writes = [e for e in recorder.reg_events if e[4]]
+        for wcycle, wcore, wrow, _, _ in writes:
+            plan = FaultPlan(REGISTER_FILE, wcore, wrow * 32, 30, wcycle + 1)
+            try:
+                run_sass(COPY_KERNEL, {"in": data, "out": data.size * 4},
+                         ["in", "out"], faults=[plan])
+            except SimFault:
+                crashed = True
+                break
+        assert crashed
+
+    def test_watchdog_catches_runaway(self):
+        source = """
+.kernel spin
+.regs 8
+.smem 0
+    MOV R0, RZ
+loop:
+    IADD R0, R0, 1
+    ISETP.LT P0, R0, 100000
+@P0 BRA loop
+    EXIT
+"""
+        with pytest.raises(WatchdogTimeout):
+            run_sass(source, {"out": 128}, ["out"], watchdog=5_000)
+
+
+class TestPruningExactness:
+    @pytest.mark.parametrize("gpu_alias,workload_name", [
+        ("nvidia", "histogram"),
+        ("amd", "reduction"),
+    ])
+    def test_pruned_faults_truly_masked(self, gpu_alias, workload_name):
+        """Resimulating resolver-pruned (dead) faults never changes output."""
+        from tests.conftest import MINI_AMD
+        config = MINI_NVIDIA if gpu_alias == "nvidia" else MINI_AMD
+        workload = get_workload(workload_name, "tiny")
+        golden = run_golden(config, workload)
+        rng = np.random.default_rng(123)
+        plans = (
+            sample_faults(config, REGISTER_FILE, golden.cycles, 40, rng)
+            + sample_faults(config, LOCAL_MEMORY, golden.cycles, 40, rng)
+        )
+        resolver = FaultSiteResolver(config, plans)
+        run_workload(Gpu(config, sink=resolver), workload)
+        dead = [p for p in plans if not resolver.is_live(p)]
+        assert dead, "expected some prunable faults"
+        # Brute-force re-simulate a slice of the dead ones.
+        for plan in dead[:15]:
+            gpu = Gpu(config)
+            gpu.set_faults([plan])
+            result = run_workload(gpu, workload)
+            assert classify_outputs(golden.outputs, result.outputs) is Outcome.MASKED
+
+    def test_live_faults_include_all_failures(self):
+        """Brute-force every sampled fault: failures only among live ones."""
+        config = MINI_NVIDIA
+        workload = get_workload("scan", "tiny")
+        golden = run_golden(config, workload)
+        rng = np.random.default_rng(7)
+        plans = sample_faults(config, REGISTER_FILE, golden.cycles, 60, rng)
+        resolver = FaultSiteResolver(config, plans)
+        run_workload(Gpu(config, sink=resolver), workload)
+        for plan in plans:
+            gpu = Gpu(config)
+            gpu.set_faults([plan])
+            gpu.set_watchdog(golden.cycles * 4 + 20000)
+            try:
+                result = run_workload(gpu, workload)
+                outcome = classify_outputs(golden.outputs, result.outputs)
+            except SimFault:
+                outcome = Outcome.DUE
+            if outcome is not Outcome.MASKED:
+                assert resolver.is_live(plan), (
+                    f"failure at pruned site: {plan} -> {outcome}"
+                )
+
+
+class TestCampaignEngine:
+    def test_campaign_counts_consistent(self):
+        config = MINI_NVIDIA
+        workload = get_workload("matrixMul", "tiny")
+        golden = run_golden(config, workload)
+        output = run_fi_campaign(config, workload, golden, samples=50, seed=3)
+        for estimate in output.estimates.values():
+            assert estimate.masked + estimate.sdc + estimate.due == estimate.samples
+            assert estimate.pruned <= estimate.masked
+            assert estimate.resimulated == estimate.samples - estimate.pruned
+            assert 0.0 <= estimate.avf <= 1.0
+
+    def test_campaign_deterministic_by_seed(self):
+        config = MINI_NVIDIA
+        workload = get_workload("vectoradd", "tiny")
+        golden = run_golden(config, workload)
+        a = run_fi_campaign(config, workload, golden, samples=40, seed=11)
+        b = run_fi_campaign(config, workload, golden, samples=40, seed=11)
+        for structure in a.estimates:
+            assert a.estimates[structure].avf == b.estimates[structure].avf
+            assert a.estimates[structure].sdc == b.estimates[structure].sdc
+
+    def test_keep_results(self):
+        config = MINI_NVIDIA
+        workload = get_workload("vectoradd", "tiny")
+        golden = run_golden(config, workload)
+        output = run_fi_campaign(config, workload, golden, samples=20, seed=5,
+                                 keep_results=True)
+        assert len(output.results) == 40  # 20 per structure

@@ -1,0 +1,96 @@
+"""Fault-plan construction, sampling and application tests."""
+
+import numpy as np
+import pytest
+
+from repro.arch.presets import GEFORCE_GTX_480, HD_RADEON_7970
+from repro.errors import ConfigError
+from repro.sim.faults import (
+    LOCAL_MEMORY,
+    REGISTER_FILE,
+    FaultPlan,
+    fault_from_flat,
+    sample_faults,
+    words_per_core,
+)
+
+
+class TestFaultPlan:
+    def test_valid(self):
+        plan = FaultPlan(REGISTER_FILE, core=1, word=5, bit=31, cycle=100)
+        assert plan.bit == 31
+
+    def test_bad_structure(self):
+        with pytest.raises(ConfigError):
+            FaultPlan("icache", 0, 0, 0, 0)
+
+    def test_bad_bit(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(REGISTER_FILE, 0, 0, 32, 0)
+
+    def test_negative_coordinates(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(REGISTER_FILE, -1, 0, 0, 0)
+
+    def test_hashable(self):
+        a = FaultPlan(REGISTER_FILE, 0, 1, 2, 3)
+        b = FaultPlan(REGISTER_FILE, 0, 1, 2, 3)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestFlatMapping:
+    def test_words_per_core(self):
+        assert words_per_core(GEFORCE_GTX_480, REGISTER_FILE) == 32768
+        assert words_per_core(GEFORCE_GTX_480, LOCAL_MEMORY) == 48 * 1024 // 4
+
+    def test_first_bit(self):
+        plan = fault_from_flat(GEFORCE_GTX_480, REGISTER_FILE, 0, 10)
+        assert (plan.core, plan.word, plan.bit) == (0, 0, 0)
+
+    def test_core_boundary(self):
+        per_core_bits = 32768 * 32
+        plan = fault_from_flat(GEFORCE_GTX_480, REGISTER_FILE, per_core_bits, 0)
+        assert (plan.core, plan.word, plan.bit) == (1, 0, 0)
+
+    def test_last_bit(self):
+        total = GEFORCE_GTX_480.register_file_bits
+        plan = fault_from_flat(GEFORCE_GTX_480, REGISTER_FILE, total - 1, 0)
+        assert plan.core == 14
+        assert plan.word == 32767
+        assert plan.bit == 31
+
+    def test_out_of_range(self):
+        total = GEFORCE_GTX_480.register_file_bits
+        with pytest.raises(ConfigError):
+            fault_from_flat(GEFORCE_GTX_480, REGISTER_FILE, total, 0)
+
+
+class TestSampling:
+    def test_count_and_bounds(self):
+        rng = np.random.default_rng(0)
+        plans = sample_faults(HD_RADEON_7970, LOCAL_MEMORY, 10_000, 500, rng)
+        assert len(plans) == 500
+        for plan in plans:
+            assert 0 <= plan.core < 32
+            assert 0 <= plan.word < 64 * 1024 // 4
+            assert 0 <= plan.cycle < 10_000
+
+    def test_deterministic_by_seed(self):
+        first = sample_faults(
+            GEFORCE_GTX_480, REGISTER_FILE, 1000, 50, np.random.default_rng(42)
+        )
+        second = sample_faults(
+            GEFORCE_GTX_480, REGISTER_FILE, 1000, 50, np.random.default_rng(42)
+        )
+        assert first == second
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_faults(GEFORCE_GTX_480, REGISTER_FILE, 0, 10,
+                          np.random.default_rng(0))
+
+    def test_roughly_uniform_over_cores(self):
+        rng = np.random.default_rng(1)
+        plans = sample_faults(GEFORCE_GTX_480, REGISTER_FILE, 100, 3000, rng)
+        counts = np.bincount([p.core for p in plans], minlength=15)
+        assert counts.min() > 100  # expected 200 per core

@@ -1,0 +1,68 @@
+"""Launch configuration and parameter packing tests."""
+
+import numpy as np
+import pytest
+
+from repro.bits import float_to_bits
+from repro.errors import LaunchError
+from repro.isa.sass.parser import assemble_sass
+from repro.sim.launch import LaunchConfig, pack_params
+
+
+def program():
+    return assemble_sass(".kernel t\n.regs 4\nEXIT\n")
+
+
+class TestPackParams:
+    def test_ints(self):
+        assert pack_params(1, 2, 3) == [1, 2, 3]
+
+    def test_negative_int_wraps(self):
+        assert pack_params(-1) == [0xFFFFFFFF]
+
+    def test_float_becomes_bits(self):
+        assert pack_params(1.5) == [float_to_bits(1.5)]
+
+    def test_numpy_scalars(self):
+        assert pack_params(np.int32(7), np.float32(2.0)) == [7, float_to_bits(2.0)]
+
+    def test_bool(self):
+        assert pack_params(True, False) == [1, 0]
+
+    def test_unpackable_rejected(self):
+        with pytest.raises(LaunchError):
+            pack_params("a string")
+
+
+class TestLaunchConfig:
+    def test_1d_promoted_to_2d(self):
+        launch = LaunchConfig(program(), grid=(4,), block=(32,))
+        assert launch.grid == (4, 1)
+        assert launch.block == (32, 1)
+
+    def test_counts(self):
+        launch = LaunchConfig(program(), grid=(4, 2), block=(16, 8))
+        assert launch.num_blocks == 8
+        assert launch.threads_per_block == 128
+        assert launch.total_threads == 1024
+
+    def test_block_indices_row_major(self):
+        launch = LaunchConfig(program(), grid=(2, 2), block=(32,))
+        assert list(launch.block_indices()) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_bad_geometry(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(program(), grid=(0,), block=(32,))
+        with pytest.raises(LaunchError):
+            LaunchConfig(program(), grid=(1,), block=(0,))
+
+    def test_block_size_limit(self):
+        with pytest.raises(LaunchError, match="1024"):
+            LaunchConfig(program(), grid=(1,), block=(2048,))
+
+    def test_param_word_bounds(self):
+        launch = LaunchConfig(program(), grid=(1,), block=(32,),
+                              params=pack_params(5))
+        assert launch.param_word(0) == 5
+        with pytest.raises(LaunchError, match="reads param 1"):
+            launch.param_word(1)

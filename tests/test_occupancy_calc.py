@@ -1,0 +1,93 @@
+"""Occupancy calculator tests against known CUDA-occupancy cases."""
+
+import pytest
+
+from repro.arch.presets import GEFORCE_GTX_480, HD_RADEON_7970, QUADRO_FX_5600
+from repro.errors import LaunchError
+from repro.isa.sass.parser import assemble_sass
+from repro.isa.si.parser import assemble_si
+from repro.sim.launch import LaunchConfig
+from repro.sim.occupancy import (
+    block_footprint,
+    max_resident_blocks,
+    theoretical_occupancy,
+)
+
+
+def sass_program(regs=16, smem=0):
+    return assemble_sass(f".kernel k\n.regs {regs}\n.smem {smem}\nEXIT\n")
+
+
+def launch(program, block=(256,)):
+    return LaunchConfig(program=program, grid=(64,), block=block)
+
+
+class TestFootprint:
+    def test_warp_rounding(self):
+        program = sass_program(regs=10)
+        fp = block_footprint(GEFORCE_GTX_480, program, launch(program, (100,)))
+        assert fp.warps == 4  # ceil(100/32)
+        assert fp.threads == 100
+
+    def test_register_allocation_granularity(self):
+        # G80 allocates register words in 256-word units per warp.
+        program = sass_program(regs=10)
+        fp = block_footprint(QUADRO_FX_5600, program, launch(program, (32,)))
+        assert fp.reg_words_per_warp == 512  # 10*32=320 -> round to 512
+
+    def test_lmem_granularity(self):
+        program = sass_program(regs=8, smem=1000)
+        fp = block_footprint(QUADRO_FX_5600, program, launch(program, (32,)))
+        assert fp.lmem_bytes == 1024  # 512-byte units
+
+    def test_too_many_registers_rejected(self):
+        program = sass_program(regs=64)  # Fermi caps at 63
+        with pytest.raises(LaunchError, match="regs/thread"):
+            block_footprint(GEFORCE_GTX_480, program, launch(program))
+
+
+class TestResidency:
+    def test_block_limit(self):
+        program = sass_program(regs=8)
+        fp = block_footprint(GEFORCE_GTX_480, program, launch(program, (32,)))
+        assert max_resident_blocks(GEFORCE_GTX_480, fp) == 8  # block cap
+
+    def test_thread_limit(self):
+        program = sass_program(regs=8)
+        fp = block_footprint(GEFORCE_GTX_480, program, launch(program, (512,)))
+        # 1536 threads / 512 = 3 blocks.
+        assert max_resident_blocks(GEFORCE_GTX_480, fp) == 3
+
+    def test_register_limit(self):
+        program = sass_program(regs=32)
+        fp = block_footprint(QUADRO_FX_5600, program, launch(program, (256,)))
+        # 256 threads * 32 regs = 8192 words = whole G80 file -> 1 block.
+        assert max_resident_blocks(QUADRO_FX_5600, fp) == 1
+
+    def test_lmem_limit(self):
+        program = sass_program(regs=8, smem=8192)
+        fp = block_footprint(QUADRO_FX_5600, program, launch(program, (64,)))
+        assert max_resident_blocks(QUADRO_FX_5600, fp) == 2  # 16K/8K
+
+    def test_unsatisfiable_block(self):
+        program = sass_program(regs=8, smem=32 * 1024)
+        fp = block_footprint(QUADRO_FX_5600, program, launch(program, (64,)))
+        with pytest.raises(LaunchError, match="does not fit"):
+            max_resident_blocks(QUADRO_FX_5600, fp)
+
+    def test_si_wavefront_footprint(self):
+        program = assemble_si(".kernel k\n.vregs 16\n.sregs 16\n.lds 0\ns_endpgm\n")
+        config = HD_RADEON_7970
+        lc = LaunchConfig(program=program, grid=(64,), block=(256,))
+        fp = block_footprint(config, program, lc)
+        assert fp.warps == 4  # 256/64 wavefronts
+        assert fp.reg_words_per_warp == 1024  # 16 VGPRs x 64 lanes
+
+    def test_theoretical_occupancy_summary(self):
+        program = sass_program(regs=16)
+        info = theoretical_occupancy(
+            GEFORCE_GTX_480, program, launch(program, (256,))
+        )
+        assert 0 < info["warp_occupancy"] <= 1
+        assert 0 < info["register_occupancy"] <= 1
+        assert info["resident_blocks"] >= 1

@@ -1,0 +1,66 @@
+"""Parallel FI campaigns must be bit-identical to serial ones."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.registry import get_workload
+from repro.reliability.fi import run_fi_campaign, run_golden
+from repro.reliability.outcomes import Outcome
+from repro.sim.faults import REGISTER_FILE
+from tests.conftest import MINI_NVIDIA
+
+
+class TestParallelCampaign:
+    def test_workers_do_not_change_results(self):
+        config = MINI_NVIDIA
+        workload = get_workload("histogram", "tiny")
+        golden = run_golden(config, workload)
+        serial = run_fi_campaign(config, workload, golden, samples=40,
+                                 seed=21, keep_results=True, workers=1)
+        parallel = run_fi_campaign(config, workload, golden, samples=40,
+                                   seed=21, keep_results=True, workers=3)
+        for structure in serial.estimates:
+            a, b = serial.estimates[structure], parallel.estimates[structure]
+            assert (a.masked, a.sdc, a.due, a.pruned) == \
+                   (b.masked, b.sdc, b.due, b.pruned)
+        for left, right in zip(serial.results, parallel.results):
+            assert left.plan == right.plan
+            assert left.outcome == right.outcome
+            assert left.corrupted_words == right.corrupted_words
+
+    def test_parallel_requires_registry_workload(self):
+        from repro.kernels.workload import Workload
+        workload = get_workload("vectoradd", "tiny")
+        golden = run_golden(MINI_NVIDIA, workload)
+        clone = Workload(
+            name="custom", programs=workload.programs,
+            buffers=workload.buffers, make_launches=workload.make_launches,
+            output_buffers=workload.output_buffers,
+            reference=workload.reference,
+        )
+        with pytest.raises(ConfigError, match="registry workload"):
+            run_fi_campaign(MINI_NVIDIA, clone, golden, samples=30,
+                            seed=0, workers=2)
+
+
+class TestSdcSeverity:
+    def test_corrupted_word_counts_recorded(self):
+        config = MINI_NVIDIA
+        workload = get_workload("scan", "tiny")
+        golden = run_golden(config, workload)
+        output = run_fi_campaign(config, workload, golden, samples=120,
+                                 seed=8, keep_results=True)
+        sdcs = [r for r in output.results if r.outcome is Outcome.SDC]
+        if not sdcs:
+            pytest.skip("no SDC drawn at this seed")
+        assert all(r.corrupted_words >= 1 for r in sdcs)
+        non_sdc = [r for r in output.results if r.outcome is not Outcome.SDC]
+        assert all(r.corrupted_words == 0 for r in non_sdc)
+
+    def test_count_corrupted_words_helper(self):
+        from repro.reliability.outcomes import count_corrupted_words
+        golden = {"a": np.array([1, 2, 3], dtype=np.uint32)}
+        faulty = {"a": np.array([1, 9, 9], dtype=np.uint32)}
+        assert count_corrupted_words(golden, faulty) == 2
+        assert count_corrupted_words(golden, golden) == 0

@@ -1,0 +1,156 @@
+"""Warp scheduler policies and chip-level block dispatch tests."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.arch.scaling import get_scaled_gpu
+from repro.errors import ConfigError, LaunchError
+from repro.sim.gpu import Gpu
+from repro.sim.launch import LaunchConfig, pack_params
+from repro.sim.scheduler import (
+    GreedyThenOldestScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.sim.tracing import EventRecorder
+from tests.conftest import MINI_NVIDIA, run_sass
+
+
+@dataclass
+class FakeWarp:
+    wid: int
+    last_issue: int = -1
+
+
+class TestPolicies:
+    def test_factory(self):
+        assert isinstance(make_scheduler("rr"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("gto"), GreedyThenOldestScheduler)
+        with pytest.raises(ConfigError):
+            make_scheduler("fifo")
+
+    def test_rr_rotates(self):
+        policy = RoundRobinScheduler()
+        warps = [FakeWarp(0), FakeWarp(1), FakeWarp(2)]
+        assert policy.pick(warps, last_issued=0).wid == 1
+        assert policy.pick(warps, last_issued=2).wid == 0
+        assert policy.pick(warps, last_issued=-1).wid == 0
+
+    def test_gto_prefers_current(self):
+        policy = GreedyThenOldestScheduler()
+        warps = [FakeWarp(0, 5), FakeWarp(1, 3), FakeWarp(2, 9)]
+        assert policy.pick(warps, last_issued=2).wid == 2
+
+    def test_gto_falls_back_to_oldest(self):
+        policy = GreedyThenOldestScheduler()
+        warps = [FakeWarp(0, 5), FakeWarp(1, 3), FakeWarp(2, 9)]
+        assert policy.pick(warps, last_issued=7).wid == 1
+
+    def test_policies_change_timing_not_results(self):
+        source = """
+.kernel t
+.regs 8
+.smem 0
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    S2R R2, SR_NTID_X
+    IMAD R3, R1, R2, R0
+    MOV R4, R3
+    IMUL R4, R4, 3
+    SHL R5, R3, 2
+    IADD R5, R5, c[0]
+    STG [R5], R4
+    EXIT
+"""
+        results = {}
+        for policy in ("rr", "gto"):
+            gpu, snap = run_sass(
+                source, {"out": 256 * 4}, ["out"], grid=(4,), block=(64,),
+                scheduler=policy,
+            )
+            results[policy] = (snap["out"].copy(), gpu.chip_cycle)
+        assert np.array_equal(results["rr"][0], results["gto"][0])
+
+
+class TestDispatch:
+    def _count_kernel(self):
+        return """
+.kernel t
+.regs 8
+.smem 0
+    S2R R0, SR_CTAID_X
+    SHL R1, R0, 2
+    IADD R1, R1, c[0]
+    MOV R2, 1
+    STG [R1], R2
+    EXIT
+"""
+
+    def test_every_block_runs_exactly_once(self):
+        gpu, snap = run_sass(
+            self._count_kernel(), {"out": 64 * 4}, ["out"], grid=(64,), block=(32,)
+        )
+        assert (snap["out"] == 1).all()
+
+    def test_blocks_spread_across_cores(self):
+        recorder = EventRecorder()
+        gpu, _ = run_sass(
+            self._count_kernel(), {"out": 64 * 4}, ["out"], grid=(8,), block=(32,),
+            sink=recorder,
+        )
+        cores = {event[1] for event in recorder.block_events}
+        assert cores == {0, 1}  # both mini cores used
+
+    def test_allocs_match_frees(self):
+        recorder = EventRecorder()
+        run_sass(
+            self._count_kernel(), {"out": 64 * 4}, ["out"], grid=(16,), block=(32,),
+            sink=recorder,
+        )
+        allocs = [e for e in recorder.block_events if e[4] == "alloc"]
+        frees = [e for e in recorder.block_events if e[4] == "free"]
+        assert len(allocs) == 16
+        assert len(frees) == 16
+
+    def test_isa_mismatch_rejected(self):
+        from repro.isa.si.parser import assemble_si
+        program = assemble_si(".kernel t\n.vregs 4\n.sregs 8\n.lds 0\ns_endpgm\n")
+        gpu = Gpu(MINI_NVIDIA)
+        with pytest.raises(LaunchError, match="executes sass"):
+            gpu.launch(LaunchConfig(program=program, grid=(1,), block=(64,)))
+
+    def test_multi_launch_cycles_accumulate(self):
+        from repro.isa.sass.parser import assemble_sass
+        program = assemble_sass(self._count_kernel())
+        gpu = Gpu(MINI_NVIDIA)
+        base = gpu.mem.alloc("out", 1024).base
+        launch = LaunchConfig(program=program, grid=(4,), block=(32,),
+                              params=pack_params(base))
+        first = gpu.launch(launch)
+        mid = gpu.chip_cycle
+        second = gpu.launch(launch)
+        assert first > 0 and second > 0
+        assert gpu.chip_cycle == mid + second
+
+    def test_scaled_chip_runs_real_kernel(self):
+        config = get_scaled_gpu("fx5800")
+        from repro.kernels.registry import get_workload
+        from repro.kernels.workload import run_workload, verify_against_reference
+        workload = get_workload("vectoradd", "tiny")
+        result = run_workload(Gpu(config), workload)
+        assert verify_against_reference(workload, result.outputs) == []
+
+
+class TestDeterminism:
+    def test_same_seeded_run_reproduces_cycles(self):
+        from repro.kernels.registry import get_workload
+        from repro.kernels.workload import run_workload
+        config = get_scaled_gpu("gtx480")
+        workload = get_workload("histogram", "tiny")
+        first = run_workload(Gpu(config), workload)
+        second = run_workload(Gpu(config), workload)
+        assert first.cycles == second.cycles
+        for name in first.outputs:
+            assert np.array_equal(first.outputs[name], second.outputs[name])

@@ -1,0 +1,120 @@
+"""SIMT reconvergence stack unit + property tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.simt_stack import NO_RECONV, SimtStack
+
+FULL = 0xFFFFFFFF
+
+
+class TestBasics:
+    def test_initial_state(self):
+        stack = SimtStack(FULL)
+        assert stack.pc == 0
+        assert stack.active_mask == FULL
+        assert stack.depth == 1
+        assert not stack.empty
+
+    def test_advance(self):
+        stack = SimtStack(FULL)
+        stack.advance(5)
+        assert stack.pc == 5
+        assert stack.depth == 1
+
+    def test_uniform_taken_branch(self):
+        stack = SimtStack(FULL)
+        stack.branch(FULL, target=10, fallthrough=1, reconv=20)
+        assert stack.pc == 10
+        assert stack.depth == 1
+
+    def test_uniform_not_taken(self):
+        stack = SimtStack(FULL)
+        stack.branch(0, target=10, fallthrough=1, reconv=20)
+        assert stack.pc == 1
+        assert stack.depth == 1
+
+
+class TestDivergence:
+    def test_divergent_branch_executes_taken_first(self):
+        stack = SimtStack(FULL)
+        stack.branch(0xFFFF, target=10, fallthrough=1, reconv=20)
+        assert stack.depth == 3
+        assert stack.pc == 10
+        assert stack.active_mask == 0xFFFF
+
+    def test_reconvergence_restores_mask(self):
+        stack = SimtStack(FULL)
+        stack.branch(0xFFFF, target=10, fallthrough=1, reconv=20)
+        stack.advance(20)          # taken side reaches reconv -> pop
+        assert stack.pc == 1       # else side
+        assert stack.active_mask == FULL & ~0xFFFF
+        stack.advance(20)          # else side reaches reconv -> pop
+        assert stack.pc == 20
+        assert stack.active_mask == FULL
+        assert stack.depth == 1
+
+    def test_no_reconv_branch_splits_without_reconv_entry(self):
+        stack = SimtStack(FULL)
+        stack.branch(0xF, target=10, fallthrough=1, reconv=NO_RECONV)
+        assert stack.depth == 2
+        assert stack.pc == 10
+        stack.exit_lanes(0xF)
+        assert stack.pc == 1
+        assert stack.active_mask == FULL & ~0xF
+
+    def test_exit_lanes_removes_from_all_entries(self):
+        stack = SimtStack(FULL)
+        stack.branch(0xFF, target=10, fallthrough=1, reconv=20)
+        stack.exit_lanes(0x0F)
+        assert stack.active_mask == 0xF0
+        stack.advance(20)
+        stack.advance(20)
+        assert stack.active_mask == FULL & ~0x0F
+
+    def test_all_lanes_exit_empties_stack(self):
+        stack = SimtStack(FULL)
+        stack.exit_lanes(FULL)
+        assert stack.empty
+
+    def test_nested_divergence(self):
+        stack = SimtStack(FULL)
+        stack.branch(0xFFFF, target=10, fallthrough=1, reconv=30)
+        stack.advance(11)
+        stack.branch(0xF, target=15, fallthrough=12, reconv=25)
+        assert stack.depth == 5
+        assert stack.pc == 15 and stack.active_mask == 0xF
+        stack.advance(25)  # inner taken reconverges
+        assert stack.pc == 12 and stack.active_mask == 0xFFF0
+        stack.advance(25)  # inner else reconverges
+        assert stack.pc == 25 and stack.active_mask == 0xFFFF
+        stack.advance(30)  # outer taken reconverges
+        assert stack.pc == 1 and stack.active_mask == FULL & ~0xFFFF
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=1, max_value=FULL),
+        st.integers(min_value=0, max_value=FULL),
+    )
+    def test_branch_partitions_active_mask(self, active, taken_raw):
+        stack = SimtStack(active)
+        taken = taken_raw & active
+        stack.branch(taken, target=10, fallthrough=1, reconv=20)
+        union = 0
+        for entry in stack.entries:
+            if entry.pc != 20 or stack.depth == 1:
+                union |= entry.mask
+        # Union of all live entries covers the original active mask.
+        total = 0
+        for entry in stack.entries:
+            total |= entry.mask
+        assert total == active
+
+    @given(st.integers(min_value=1, max_value=FULL),
+           st.integers(min_value=0, max_value=FULL))
+    def test_exit_lanes_monotonic(self, active, exiting):
+        stack = SimtStack(active)
+        stack.exit_lanes(exiting)
+        for entry in stack.entries:
+            assert entry.mask & exiting == 0

@@ -1,0 +1,105 @@
+"""Tracing must observe, never perturb: traced and untraced runs agree.
+
+Also checks sink fan-out and the event-stream sanity properties the
+reliability analyses rely on (per-core chronological order, writes
+before reads for registers).
+"""
+
+import numpy as np
+
+from repro.kernels.registry import get_workload
+from repro.kernels.workload import run_workload
+from repro.reliability.liveness import AceAccumulator, OccupancyAccumulator
+from repro.sim.gpu import Gpu
+from repro.sim.tracing import CompositeSink, EventRecorder, TraceSink
+from tests.conftest import MINI_AMD, MINI_NVIDIA
+
+
+class TestTransparency:
+    def _compare(self, config, workload_name):
+        workload = get_workload(workload_name, "tiny")
+        bare = run_workload(Gpu(config), workload)
+        sink = CompositeSink(
+            AceAccumulator(config), OccupancyAccumulator(config), EventRecorder()
+        )
+        traced = run_workload(Gpu(config, sink=sink), workload)
+        assert bare.cycles == traced.cycles
+        for name in bare.outputs:
+            assert np.array_equal(bare.outputs[name], traced.outputs[name])
+
+    def test_sass_traced_equals_untraced(self):
+        self._compare(MINI_NVIDIA, "matrixMul")
+
+    def test_si_traced_equals_untraced(self):
+        self._compare(MINI_AMD, "scan")
+
+
+class TestEventStream:
+    def _recorded(self, config, workload_name):
+        recorder = EventRecorder()
+        workload = get_workload(workload_name, "tiny")
+        run_workload(Gpu(config, sink=recorder), workload)
+        return recorder
+
+    def test_per_core_chronological_order(self):
+        recorder = self._recorded(MINI_NVIDIA, "reduction")
+        last = {}
+        for cycle, core, _row, _mask, _w in recorder.reg_events:
+            assert cycle >= last.get(core, 0)
+            last[core] = cycle
+
+    def test_registers_written_before_read(self):
+        """No kernel reads an uninitialised register row."""
+        recorder = self._recorded(MINI_NVIDIA, "vectoradd")
+        written = set()
+        for _cycle, core, row, mask, is_write in recorder.reg_events:
+            if is_write:
+                written.add((core, row))
+            else:
+                assert (core, row) in written
+
+    def test_lmem_written_before_read(self):
+        recorder = self._recorded(MINI_NVIDIA, "matrixMul")
+        written = set()
+        for _cycle, core, words, is_write in recorder.lmem_events:
+            if is_write:
+                written.update((core, w) for w in words)
+            else:
+                for word in words:
+                    assert (core, word) in written
+
+    def test_end_cycle_recorded(self):
+        recorder = self._recorded(MINI_AMD, "vectoradd")
+        assert recorder.end_cycle is not None and recorder.end_cycle > 0
+
+    def test_alloc_free_balance(self):
+        recorder = self._recorded(MINI_AMD, "histogram")
+        balance = 0
+        for *_rest, kind in recorder.block_events:
+            balance += 1 if kind == "alloc" else -1
+            assert balance >= 0
+        assert balance == 0
+
+
+class TestCompositeSink:
+    def test_fan_out(self):
+        a, b = EventRecorder(), EventRecorder()
+        composite = CompositeSink(a, b, None)
+        composite.on_reg_access(1, 0, 2, 0xF, True)
+        composite.on_lmem_access(2, 0, np.array([1]), False)
+        composite.on_block_alloc(0, 0, 64, 128)
+        composite.on_block_free(9, 0, 64, 128)
+        composite.on_run_end(10)
+        for sink in (a, b):
+            assert len(sink.reg_events) == 1
+            assert len(sink.lmem_events) == 1
+            assert len(sink.block_events) == 2
+            assert sink.end_cycle == 10
+
+    def test_base_sink_is_noop(self):
+        sink = TraceSink()
+        sink.on_reg_access(0, 0, 0, 0, False)
+        sink.on_lmem_access(0, 0, np.array([0]), True)
+        sink.on_block_alloc(0, 0, 0, 0)
+        sink.on_block_free(0, 0, 0, 0)
+        sink.on_run_end(0)
