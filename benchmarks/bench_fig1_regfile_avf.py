@@ -9,7 +9,7 @@ re-simulations), i.e. the cost a GUFI/SIFI user would pay.
 from __future__ import annotations
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
-from repro.reliability.campaign import run_cell
+from repro.engine import clear_memory_cache, run_campaign
 from repro.sim.faults import REGISTER_FILE
 
 WORKLOADS = ["matrixMul", "reduction", "kmeans"]
@@ -19,13 +19,13 @@ def test_fig1_register_file_avf(benchmark, scaled_gpu):
     samples = bench_samples()
     scale = bench_scale()
     workloads = bench_workloads(WORKLOADS)
+    clear_memory_cache()
 
     def campaign():
-        return [
-            run_cell(scaled_gpu, name, scale=scale, samples=samples,
-                     seed=1, structures=(REGISTER_FILE,))
-            for name in workloads
-        ]
+        return run_campaign(
+            gpus=[scaled_gpu], workloads=workloads, scale=scale,
+            samples=samples, seed=1, structures=(REGISTER_FILE,),
+        ).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.1 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

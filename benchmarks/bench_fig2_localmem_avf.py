@@ -8,7 +8,7 @@ for this structure (unlike Fig. 1).
 from __future__ import annotations
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
-from repro.reliability.campaign import run_cell
+from repro.engine import clear_memory_cache, run_campaign
 from repro.sim.faults import LOCAL_MEMORY
 
 WORKLOADS = ["matrixMul", "scan", "histogram"]
@@ -21,13 +21,13 @@ def test_fig2_local_memory_avf(benchmark, scaled_gpu):
         name for name in bench_workloads(WORKLOADS)
         if name not in ("gaussian", "kmeans", "vectoradd")
     ]
+    clear_memory_cache()
 
     def campaign():
-        return [
-            run_cell(scaled_gpu, name, scale=scale, samples=samples,
-                     seed=1, structures=(LOCAL_MEMORY,))
-            for name in workloads
-        ]
+        return run_campaign(
+            gpus=[scaled_gpu], workloads=workloads, scale=scale,
+            samples=samples, seed=1, structures=(LOCAL_MEMORY,),
+        ).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.2 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
-from repro.reliability.campaign import run_cell
+from repro.engine import clear_memory_cache, run_campaign
 from repro.sim.faults import STRUCTURES
 
 WORKLOADS = ["vectoradd", "matrixMul"]
@@ -20,13 +20,13 @@ def test_fig3_epf(benchmark, scaled_gpu):
     samples = bench_samples()
     scale = bench_scale()
     workloads = bench_workloads(WORKLOADS)
+    clear_memory_cache()
 
     def campaign():
-        return [
-            run_cell(scaled_gpu, name, scale=scale, samples=samples,
-                     seed=1, structures=STRUCTURES)
-            for name in workloads
-        ]
+        return run_campaign(
+            gpus=[scaled_gpu], workloads=workloads, scale=scale,
+            samples=samples, seed=1, structures=STRUCTURES,
+        ).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.3 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

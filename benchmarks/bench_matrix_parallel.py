@@ -1,0 +1,73 @@
+"""MATRIX-PAR — engine wall-time at workers=1 vs workers=N.
+
+Runs the same small (GPU x benchmark) matrix serially and on the
+process pool, verifies the cells are identical, and records the
+speedup. The golden-run memory cache is cleared between the runs so
+each pays the full campaign cost.
+
+Knobs: ``REPRO_FI_SAMPLES`` / ``REPRO_SCALE`` (see conftest) plus
+``REPRO_BENCH_WORKERS`` (default: min(4, cpu_count)).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import bench_samples, bench_scale
+from repro.arch.scaling import get_scaled_gpu
+from repro.engine import clear_memory_cache, run_campaign
+from repro.sim.faults import STRUCTURES
+
+GPUS = ("fx5600", "hd7970")
+WORKLOADS = ["matrixMul", "histogram", "scan"]
+
+
+def bench_workers(default: int | None = None) -> int:
+    if "REPRO_BENCH_WORKERS" in os.environ:
+        return int(os.environ["REPRO_BENCH_WORKERS"])
+    # At least 2 so the pooled path is exercised even on 1-core hosts
+    # (where the speedup will simply come out ~1x or below).
+    return default or max(2, min(4, os.cpu_count() or 1))
+
+
+def test_matrix_parallel_speedup(benchmark):
+    samples = bench_samples()
+    scale = bench_scale()
+    workers = bench_workers()
+    gpus = [get_scaled_gpu(name) for name in GPUS]
+
+    clear_memory_cache()
+    start = time.perf_counter()
+    serial = run_campaign(
+        gpus=gpus, workloads=WORKLOADS, scale=scale, samples=samples,
+        seed=1, structures=STRUCTURES, workers=1,
+    ).cells
+    serial_s = time.perf_counter() - start
+
+    def parallel_campaign():
+        clear_memory_cache()
+        return run_campaign(
+            gpus=gpus, workloads=WORKLOADS, scale=scale, samples=samples,
+            seed=1, structures=STRUCTURES, workers=workers,
+        ).cells
+
+    parallel = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.mean
+
+    def comparable(cell):
+        row = cell.row()
+        row.pop("golden_time_s")
+        row.pop("fi_time_s")
+        return row
+
+    assert [comparable(c) for c in serial] == [comparable(c) for c in parallel]
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"\nMatrix wall-time ({len(serial)} cells, n={samples}, {scale}): "
+          f"workers=1 {serial_s:6.1f}s  workers={workers} {parallel_s:6.1f}s  "
+          f"speedup x{speedup:.2f}")
+    benchmark.extra_info["serial_s"] = round(serial_s, 2)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 2)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["speedup"] = round(speedup, 2)

@@ -2,9 +2,12 @@
 
 Fig. 1, Fig. 2 and Fig. 3 share the same (GPU x benchmark) cells, so a
 single matrix run with both structures regenerates everything; this is
-what EXPERIMENTS.md records. Usage::
+what EXPERIMENTS.md records. The campaign runs on the job-graph engine
+with a persistent result store in the output directory: a run killed
+half-way resumes from its finished jobs on the next invocation, and a
+re-run of a complete campaign executes nothing. Usage::
 
-    python scripts/run_full_experiments.py [samples] [scale] [outdir]
+    python scripts/run_full_experiments.py [samples] [scale] [outdir] [workers]
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ import sys
 import time
 
 from repro.arch.scaling import list_scaled_gpus
-from repro.reliability.campaign import run_matrix
+from repro.engine import CampaignStats, run_campaign
 from repro.reliability.report import (
     format_ace_vs_fi,
     format_avf_figure,
@@ -28,6 +31,7 @@ def main() -> int:
     samples = int(sys.argv[1]) if len(sys.argv) > 1 else 250
     scale = sys.argv[2] if len(sys.argv) > 2 else "small"
     outdir = sys.argv[3] if len(sys.argv) > 3 else "results"
+    workers = int(sys.argv[4]) if len(sys.argv) > 4 else 1
 
     from pathlib import Path
     out = Path(outdir)
@@ -45,14 +49,20 @@ def main() -> int:
             flush=True,
         )
 
-    cells = run_matrix(
+    stats = CampaignStats()
+    result = run_campaign(
         gpus=list_scaled_gpus(),
         scale=scale,
         samples=samples,
         seed=1,
         structures=(REGISTER_FILE, LOCAL_MEMORY),
+        workers=workers,
+        store=out / "store.jsonl",
         progress=progress,
+        stats=stats,
     )
+    cells = result.cells
+    print(stats.summary(), flush=True)
 
     write_cells_csv(cells, out / "cells.csv")
     fig1 = format_avf_figure(
@@ -74,8 +84,12 @@ def main() -> int:
         "samples": samples,
         "scale": scale,
         "seed": 1,
+        "workers": workers,
         "wall_time_s": round(time.time() - start, 1),
         "cells": len(cells),
+        "jobs_total": stats.total,
+        "jobs_cached": stats.cached,
+        "jobs_executed": stats.executed,
     }
     (out / "meta.json").write_text(json.dumps(meta, indent=2))
     print(f"\ndone in {meta['wall_time_s']}s -> {out}/", flush=True)

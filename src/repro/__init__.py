@@ -27,6 +27,12 @@ from repro.arch import (
     list_gpus,
     list_scaled_gpus,
 )
+from repro.engine import (
+    CampaignResult,
+    CampaignStats,
+    ResultStore,
+    run_campaign,
+)
 from repro.errors import (
     AssemblyError,
     ConfigError,
@@ -84,6 +90,8 @@ __all__ = [
     "KERNEL_NAMES", "Workload", "RunResult",
     "get_workload", "list_workloads", "run_workload",
     "verify_against_reference",
+    # campaign engine
+    "run_campaign", "CampaignResult", "CampaignStats", "ResultStore",
     # reliability
     "run_cell", "run_matrix", "run_golden", "run_fi_campaign",
     "CellResult", "AvfEstimate", "AceMode", "Outcome",

@@ -1,0 +1,299 @@
+"""Job bodies and payload codecs for the campaign execution engine.
+
+A matrix campaign decomposes into four job kinds per (GPU, benchmark)
+cell:
+
+* **golden** — one traced fault-free run: cycle count, launch cycles,
+  ACE AVFs, occupancies, and the golden output buffers. Shared between
+  cells (and campaigns) that agree on (gpu, workload, scale, scheduler,
+  ace_mode) — sample/seed sweeps hit the cache instead of re-running.
+* **plan** — fault sampling plus the dead-site pruning pass: the exact
+  per-structure plan lists the serial path draws (same RNG seeding),
+  each tagged provably-dead or potentially-live.
+* **shard** — a contiguous slice of the sorted live plans, each fully
+  re-simulated and classified MASKED / SDC / DUE. Shards of *different
+  cells* run concurrently on the process pool.
+* **cell** — pure reduction of the above into a
+  :class:`repro.reliability.campaign.CellResult`; cheap, runs in the
+  driver process.
+
+All worker functions are module-level (picklable) and take one
+plain-data argument tuple; payloads are JSON-serializable dicts so the
+persistent store can replay them across processes.
+"""
+
+from __future__ import annotations
+
+import base64
+import time
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.kernels.registry import get_workload
+from repro.kernels.workload import run_workload
+from repro.reliability.campaign import CellResult
+from repro.reliability.epf import EpfResult, compute_epf
+from repro.reliability.fi import AvfEstimate, resimulate_plan, run_golden
+from repro.reliability.liveness import AceMode, FaultSiteResolver
+from repro.reliability.outcomes import Outcome
+from repro.sim.faults import STRUCTURES, FaultPlan, sample_faults
+from repro.sim.gpu import Gpu
+
+GOLDEN, PLAN, SHARD, CELL = "golden", "plan", "shard", "cell"
+
+
+# ----------------------------------------------------------------------
+# Output-buffer codec (numpy <-> JSON-safe dict)
+# ----------------------------------------------------------------------
+
+def encode_outputs(outputs: dict) -> dict:
+    """Golden output buffers as JSON-safe base64 blobs."""
+    return {
+        name: {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "data": base64.b64encode(np.ascontiguousarray(array).tobytes())
+            .decode("ascii"),
+        }
+        for name, array in outputs.items()
+    }
+
+
+def decode_outputs(payload: dict) -> dict:
+    """Inverse of :func:`encode_outputs` (bit-exact round trip)."""
+    return {
+        name: np.frombuffer(
+            base64.b64decode(blob["data"]), dtype=np.dtype(blob["dtype"])
+        ).reshape(blob["shape"])
+        for name, blob in payload.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Golden job
+# ----------------------------------------------------------------------
+
+def run_golden_job(args: tuple) -> dict:
+    """Worker: traced fault-free run -> plain-data golden payload.
+
+    ACE AVFs and occupancies are recorded for *all* structures so one
+    golden payload serves campaigns targeting any structure subset.
+    """
+    config, workload_name, scale, scheduler, ace_mode_value = args
+    workload = get_workload(workload_name, scale)
+    golden = run_golden(config, workload, scheduler=scheduler,
+                        ace_mode=AceMode(ace_mode_value))
+    return {
+        "cycles": golden.cycles,
+        "launch_cycles": [int(c) for c in golden.launch_cycles],
+        "ace": {s: golden.ace.avf(s) for s in STRUCTURES},
+        "occupancy": {s: golden.occupancy.occupancy(s) for s in STRUCTURES},
+        "wall_time_s": golden.wall_time_s,
+        "outputs": encode_outputs(golden.outputs),
+    }
+
+
+# ----------------------------------------------------------------------
+# Plan (sampling + pruning) job
+# ----------------------------------------------------------------------
+
+def run_plan_job(args: tuple) -> dict:
+    """Worker: draw fault plans and prune provably-dead sites.
+
+    Sampling reproduces the serial path exactly: one generator seeded
+    with ``seed``, structures drawn in campaign order, so the engine's
+    plans are bit-identical to ``run_fi_campaign``'s for any worker
+    count or shard size.
+    """
+    (config, workload_name, scale, scheduler, cycles, samples, seed,
+     structures) = args
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    plans_by_structure = {
+        structure: sample_faults(config, structure, cycles, samples, rng)
+        for structure in structures
+    }
+    all_plans = [p for plans in plans_by_structure.values() for p in plans]
+    resolver = FaultSiteResolver(config, all_plans)
+    gpu = Gpu(config, scheduler=scheduler, sink=resolver)
+    run_workload(gpu, get_workload(workload_name, scale))
+    return {
+        "plans": {
+            structure: [
+                [p.core, p.word, p.bit, p.cycle, bool(resolver.is_live(p))]
+                for p in plans
+            ]
+            for structure, plans in plans_by_structure.items()
+        },
+        "wall_time_s": time.perf_counter() - start,
+    }
+
+
+def live_plan_keys(plan_payload: dict) -> list[tuple]:
+    """Deduplicated live plans in the serial path's re-simulation order.
+
+    Keys are (structure, core, word, bit, cycle) tuples sorted exactly
+    like ``run_fi_campaign`` sorts its live set; shard jobs cover
+    contiguous slices of this list.
+    """
+    live = {
+        (structure, core, word, bit, cycle)
+        for structure, rows in plan_payload["plans"].items()
+        for core, word, bit, cycle, alive in rows
+        if alive
+    }
+    return sorted(live)
+
+
+# ----------------------------------------------------------------------
+# FI shard job
+# ----------------------------------------------------------------------
+
+#: Per-process decoded golden outputs, keyed by golden fingerprint —
+#: a worker running many shards of one cell decodes the blobs once.
+_DECODED_OUTPUTS: dict[str, dict] = {}
+_DECODED_OUTPUTS_MAX = 8
+
+
+def _decoded_outputs_for(golden_fp: str, outputs_encoded: dict) -> dict:
+    outputs = _DECODED_OUTPUTS.get(golden_fp)
+    if outputs is None:
+        if len(_DECODED_OUTPUTS) >= _DECODED_OUTPUTS_MAX:
+            _DECODED_OUTPUTS.pop(next(iter(_DECODED_OUTPUTS)))
+        outputs = _DECODED_OUTPUTS[golden_fp] = decode_outputs(outputs_encoded)
+    return outputs
+
+
+def run_shard_job(args: tuple) -> dict:
+    """Worker: fully re-simulate one slice of live fault plans."""
+    (config, workload_name, scale, scheduler, cycles, golden_fp,
+     outputs_encoded, plan_keys) = args
+    outputs = _decoded_outputs_for(golden_fp, outputs_encoded)
+    workload = get_workload(workload_name, scale)
+    start = time.perf_counter()
+    results = []
+    for structure, core, word, bit, cycle in plan_keys:
+        plan = FaultPlan(structure=structure, core=core, word=word,
+                         bit=bit, cycle=cycle)
+        result = resimulate_plan(config, workload, plan, outputs, cycles,
+                                 scheduler)
+        results.append([
+            structure, core, word, bit, cycle,
+            result.outcome.value, result.detail, result.corrupted_words,
+        ])
+    return {"results": results, "wall_time_s": time.perf_counter() - start}
+
+
+# ----------------------------------------------------------------------
+# Reduce-to-cell job (driver-side)
+# ----------------------------------------------------------------------
+
+def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
+                    scheduler: str, samples: int, seed: int,
+                    structures: tuple, raw_fit_per_bit: float,
+                    uses_local_memory: bool, golden_payload: dict,
+                    plan_payload: dict, shard_payloads: list) -> dict:
+    """Combine golden + plan + shard payloads into one cell payload.
+
+    The counting mirrors ``run_fi_campaign`` line for line (pruned
+    sites masked without re-simulation, duplicates resolved through the
+    shared outcome map), so the reduced cell matches the serial path's
+    AVF counts, EPF and cycles bit for bit.
+    """
+    outcome_by_key: dict[tuple, tuple] = {}
+    resim_time = 0.0
+    for shard in shard_payloads:
+        resim_time += shard["wall_time_s"]
+        for structure, core, word, bit, cycle, value, detail, bad in \
+                shard["results"]:
+            outcome_by_key[(structure, core, word, bit, cycle)] = (
+                Outcome(value), detail, bad)
+    total_live = max(1, len(live_plan_keys(plan_payload)))
+
+    estimates: dict[str, dict] = {}
+    avf_for_epf: dict[str, float] = {}
+    for structure in structures:
+        rows = plan_payload["plans"][structure]
+        masked = sdc = due = pruned = resims = 0
+        for core, word, bit, cycle, alive in rows:
+            if not alive:
+                masked += 1
+                pruned += 1
+                continue
+            outcome, _, _ = outcome_by_key[(structure, core, word, bit, cycle)]
+            resims += 1
+            if outcome is Outcome.MASKED:
+                masked += 1
+            elif outcome is Outcome.SDC:
+                sdc += 1
+            else:
+                due += 1
+        estimates[structure] = {
+            "structure": structure,
+            "samples": len(rows),
+            "masked": masked,
+            "sdc": sdc,
+            "due": due,
+            "pruned": pruned,
+            "resimulated": resims,
+            "wall_time_s": resim_time * resims / total_live,
+        }
+        avf_for_epf[structure] = (
+            (sdc + due) / len(rows) if rows else 0.0
+        )
+
+    epf = compute_epf(config, workload_name, golden_payload["cycles"],
+                      avf_for_epf, raw_fit_per_bit)
+    return {
+        "gpu": config.name,
+        "workload": workload_name,
+        "scale": scale,
+        "scheduler": scheduler,
+        "cycles": golden_payload["cycles"],
+        "num_launches": len(golden_payload["launch_cycles"]),
+        "fi": estimates,
+        "ace": {s: golden_payload["ace"][s] for s in structures},
+        "occupancy": {s: golden_payload["occupancy"][s] for s in structures},
+        "epf": {
+            "gpu": epf.gpu,
+            "workload": epf.workload,
+            "cycles": epf.cycles,
+            "t_exec_s": epf.t_exec_s,
+            "eit": epf.eit,
+            "fit_by_structure": epf.fit_by_structure,
+            "fit_gpu": epf.fit_gpu,
+            "epf": epf.epf,
+        },
+        "golden_time_s": golden_payload["wall_time_s"],
+        "fi_time_s": plan_payload["wall_time_s"] + resim_time,
+        "samples": samples,
+        "seed": seed,
+        "uses_local_memory": uses_local_memory,
+    }
+
+
+def cell_from_payload(payload: dict) -> CellResult:
+    """Rehydrate a :class:`CellResult` from a stored cell payload."""
+    fi = {
+        structure: AvfEstimate(**est)
+        for structure, est in payload["fi"].items()
+    }
+    epf = EpfResult(**payload["epf"]) if payload["epf"] is not None else None
+    return CellResult(
+        gpu=payload["gpu"],
+        workload=payload["workload"],
+        scale=payload["scale"],
+        scheduler=payload["scheduler"],
+        cycles=payload["cycles"],
+        num_launches=payload["num_launches"],
+        fi=fi,
+        ace=dict(payload["ace"]),
+        occupancy=dict(payload["occupancy"]),
+        epf=epf,
+        golden_time_s=payload["golden_time_s"],
+        fi_time_s=payload["fi_time_s"],
+        samples=payload["samples"],
+        seed=payload["seed"],
+        uses_local_memory=payload["uses_local_memory"],
+    )

@@ -1,0 +1,192 @@
+"""Matrix campaigns on the job-graph engine.
+
+:func:`run_campaign` decomposes the (GPU x benchmark) evaluation matrix
+into golden -> plan -> shard -> cell jobs, schedules them across a
+process pool so *cells* run concurrently (not just one cell's
+re-simulations), caches golden runs by (gpu, workload, scale,
+scheduler, ace_mode), and records every finished job in a persistent
+:class:`~repro.engine.store.ResultStore` — making interrupted campaigns
+resumable and repeated invocations incremental. Results are
+bit-identical to the serial ``run_cell`` loop for any worker count and
+any shard size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.arch.config import GpuConfig
+from repro.arch.presets import list_gpus
+from repro.engine import jobs
+from repro.engine.fingerprint import (
+    cell_params,
+    fingerprint,
+    golden_params,
+    plan_params,
+    shard_params,
+)
+from repro.engine.scheduler import CampaignStats, JobScheduler, JobSpec
+from repro.engine.store import ResultStore
+from repro.kernels.registry import KERNEL_NAMES, get_workload
+from repro.reliability.campaign import CellResult, default_samples, default_scale
+from repro.reliability.epf import RAW_FIT_PER_BIT
+from repro.reliability.liveness import AceMode
+from repro.sim.faults import STRUCTURES
+
+#: Live fault plans per FI shard job. Small enough that a 2,000-sample
+#: campaign spreads one cell over many workers; independent of the
+#: worker count so shard fingerprints stay stable across runs.
+DEFAULT_SHARD_SIZE = 24
+
+
+@dataclass
+class CampaignResult:
+    """Cells in matrix order plus the job accounting."""
+
+    cells: list
+    stats: CampaignStats
+
+
+def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
+               samples: int, seed: int, scheduler: str, structures: tuple,
+               ace_mode: AceMode, raw_fit_per_bit: float, shard_size: int,
+               store: ResultStore | None) -> tuple[list[JobSpec], str]:
+    """Job chain for one cell; returns (root jobs, cell job id)."""
+    golden_fp = fingerprint(
+        jobs.GOLDEN,
+        golden_params(config, workload_name, scale, scheduler, ace_mode),
+    )
+    plan_fp = fingerprint(
+        jobs.PLAN, plan_params(golden_fp, samples, seed, structures))
+    cell_fp = fingerprint(jobs.CELL,
+                          cell_params(plan_fp, raw_fit_per_bit))
+    if store is not None and cell_fp in store:
+        # Finished cell: short-circuit the whole chain (cell
+        # fingerprints ignore shard geometry, so even a different
+        # shard size reuses it). The cached payload resolves the job;
+        # reduce_fn exists only to satisfy the spec's contract.
+        return [JobSpec(
+            job_id=cell_fp,
+            kind=jobs.CELL,
+            fingerprint=cell_fp,
+            reduce_fn=lambda deps: store.get(cell_fp),
+        )], cell_fp
+    uses_local_memory = get_workload(workload_name, scale).uses_local_memory
+
+    def expand_plan(plan_payload: dict) -> list[JobSpec]:
+        live = jobs.live_plan_keys(plan_payload)
+        shard_ids = []
+        specs = []
+        for start in range(0, len(live), shard_size):
+            chunk = live[start:start + shard_size]
+            shard_fp = fingerprint(
+                jobs.SHARD,
+                shard_params(plan_fp, start, start + len(chunk)))
+            shard_ids.append(shard_fp)
+            specs.append(JobSpec(
+                job_id=shard_fp,
+                kind=jobs.SHARD,
+                fingerprint=shard_fp,
+                deps=(golden_fp,),
+                worker=jobs.run_shard_job,
+                make_args=lambda deps, chunk=chunk: (
+                    config, workload_name, scale, scheduler,
+                    deps[golden_fp]["cycles"], golden_fp,
+                    deps[golden_fp]["outputs"], chunk,
+                ),
+            ))
+
+        def reduce_cell(deps: dict) -> dict:
+            return jobs.reduce_cell_job(
+                config, workload_name, scale, scheduler, samples, seed,
+                structures, raw_fit_per_bit, uses_local_memory,
+                deps[golden_fp], deps[plan_fp],
+                [deps[shard_id] for shard_id in shard_ids],
+            )
+
+        specs.append(JobSpec(
+            job_id=cell_fp,
+            kind=jobs.CELL,
+            fingerprint=cell_fp,
+            deps=(golden_fp, plan_fp, *shard_ids),
+            reduce_fn=reduce_cell,
+        ))
+        return specs
+
+    golden_job = JobSpec(
+        job_id=golden_fp,
+        kind=jobs.GOLDEN,
+        fingerprint=golden_fp,
+        worker=jobs.run_golden_job,
+        make_args=lambda deps: (
+            config, workload_name, scale, scheduler, ace_mode.value),
+        cache_in_memory=True,
+    )
+    plan_job = JobSpec(
+        job_id=plan_fp,
+        kind=jobs.PLAN,
+        fingerprint=plan_fp,
+        deps=(golden_fp,),
+        worker=jobs.run_plan_job,
+        make_args=lambda deps: (
+            config, workload_name, scale, scheduler,
+            deps[golden_fp]["cycles"], samples, seed, structures),
+        expand=expand_plan,
+    )
+    return [golden_job, plan_job], cell_fp
+
+
+def run_campaign(gpus: list | None = None, workloads: list | None = None,
+                 scale: str | None = None, samples: int | None = None,
+                 seed: int = 0, scheduler: str = "rr",
+                 structures: tuple = STRUCTURES,
+                 ace_mode: AceMode = AceMode.CONSERVATIVE,
+                 raw_fit_per_bit: float = RAW_FIT_PER_BIT,
+                 shard_size: int | None = None, workers: int = 1,
+                 store: ResultStore | str | Path | None = None,
+                 progress=None,
+                 stats: CampaignStats | None = None) -> CampaignResult:
+    """Run (or resume) the full evaluation matrix on the job engine.
+
+    ``store`` — a :class:`ResultStore` or a path to one — makes the
+    campaign persistent: killed runs resume without re-executing any
+    finished job, and identical re-invocations execute nothing.
+    ``workers`` sizes the process pool (1 = inline/serial); cells and
+    their FI shards are scheduled concurrently either way, and results
+    are identical for every setting.
+    """
+    gpus = gpus if gpus is not None else list_gpus()
+    workloads = list(workloads) if workloads is not None else list(KERNEL_NAMES)
+    scale = scale or default_scale()
+    samples = samples if samples is not None else default_samples()
+    shard_size = shard_size or DEFAULT_SHARD_SIZE
+    own_store = isinstance(store, (str, Path))
+    if own_store:
+        store = ResultStore(store)
+    stats = stats if stats is not None else CampaignStats()
+
+    specs: list[JobSpec] = []
+    cell_ids: list[str] = []
+    for config in gpus:
+        for name in workloads:
+            roots, cell_id = _cell_jobs(
+                config, name, scale, samples, seed, scheduler, structures,
+                ace_mode, raw_fit_per_bit, shard_size, store)
+            specs.extend(roots)
+            cell_ids.append(cell_id)
+
+    def on_complete(job: JobSpec, payload: dict, cached: bool) -> None:
+        if progress is not None and job.kind == jobs.CELL:
+            progress(jobs.cell_from_payload(payload))
+
+    try:
+        resolved = JobScheduler(store=store, workers=workers).run(
+            specs, on_complete=on_complete, stats=stats)
+    finally:
+        if own_store:
+            store.close()
+    cells: list[CellResult] = [
+        jobs.cell_from_payload(resolved[cell_id]) for cell_id in cell_ids
+    ]
+    return CampaignResult(cells=cells, stats=stats)

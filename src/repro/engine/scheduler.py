@@ -1,0 +1,238 @@
+"""Dependency-aware job scheduler for campaign execution.
+
+The scheduler drives an arbitrary DAG of :class:`JobSpec`\\ s:
+
+* jobs whose fingerprint is already in the persistent store (or the
+  in-process golden cache) resolve instantly as *cached*;
+* pool jobs (a picklable ``worker`` + ``make_args``) run on a
+  ``ProcessPoolExecutor`` as soon as their dependencies resolve — with
+  ``workers <= 1`` everything runs inline in deterministic admission
+  order instead;
+* driver jobs (``reduce_fn``) run in the scheduling process the moment
+  they are ready (they are cheap reductions);
+* a completed job may *expand* into further jobs (the FI shards and the
+  cell reduction only exist once the plan job has revealed the live
+  fault sites), which are admitted through the same cache check.
+
+Payload equality is guaranteed by construction — every job body is a
+deterministic function of its fingerprinted parameters — so neither the
+worker count nor the completion order can change any result.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.store import ResultStore
+
+#: In-process payload cache for jobs flagged ``cache_in_memory`` —
+#: golden runs, so repeated campaigns in one process (sample/seed
+#: sweeps, fig1+fig2+fig3) never re-simulate an identical golden run.
+#: LRU-bounded: golden payloads carry full output buffers, so an
+#: unbounded cache would grow monotonically in long sweep processes.
+_MEMORY_CACHE: dict[str, dict] = {}
+_MEMORY_CACHE_MAX = 64
+
+
+def _memory_cache_get(fp: str) -> dict | None:
+    payload = _MEMORY_CACHE.get(fp)
+    if payload is not None:
+        _MEMORY_CACHE[fp] = _MEMORY_CACHE.pop(fp)  # mark most-recent
+    return payload
+
+
+def _memory_cache_put(fp: str, payload: dict) -> None:
+    _MEMORY_CACHE.pop(fp, None)
+    while len(_MEMORY_CACHE) >= _MEMORY_CACHE_MAX:
+        _MEMORY_CACHE.pop(next(iter(_MEMORY_CACHE)))
+    _MEMORY_CACHE[fp] = payload
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process golden-run cache (benchmarks use this)."""
+    _MEMORY_CACHE.clear()
+
+
+@dataclass
+class JobSpec:
+    """One schedulable job."""
+
+    job_id: str
+    kind: str
+    fingerprint: str
+    deps: tuple = ()
+    #: module-level picklable function for process-pool execution
+    worker: Callable | None = None
+    #: dep payloads (job_id -> payload) -> worker argument tuple
+    make_args: Callable | None = None
+    #: driver-side body: dep payloads -> payload (mutually exclusive
+    #: with ``worker``)
+    reduce_fn: Callable | None = None
+    #: payload -> list[JobSpec] admitted after this job completes
+    expand: Callable | None = None
+    persist: bool = True
+    cache_in_memory: bool = False
+
+
+@dataclass
+class CampaignStats:
+    """Job accounting for one campaign run (the CLI summary)."""
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def count(self, kind: str, cached: bool) -> None:
+        self.total += 1
+        bucket = self.by_kind.setdefault(kind, {"cached": 0, "executed": 0})
+        if cached:
+            self.cached += 1
+            bucket["cached"] += 1
+        else:
+            self.executed += 1
+            bucket["executed"] += 1
+
+    def summary(self) -> str:
+        detail = ", ".join(
+            f"{kind}={counts['cached']}+{counts['executed']}"
+            for kind, counts in sorted(self.by_kind.items())
+        )
+        return (
+            f"campaign: {self.total} jobs — {self.cached} cached, "
+            f"{self.executed} executed ({detail}; cached+executed per kind)"
+        )
+
+
+class JobScheduler:
+    """Execute a (dynamically expanding) job DAG with store caching."""
+
+    def __init__(self, store: ResultStore | None = None, workers: int = 1):
+        self.store = store
+        self.workers = max(1, int(workers))
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[JobSpec], on_complete: Callable | None = None,
+            stats: CampaignStats | None = None) -> dict[str, dict]:
+        """Run every job (plus expansions); returns job_id -> payload."""
+        state = _RunState(self, on_complete,
+                          stats if stats is not None else CampaignStats())
+        for job in jobs:
+            state.admit(job)
+        if self.workers <= 1:
+            state.run_inline()
+        else:
+            state.run_pooled(self.workers)
+        if state.pending:
+            unmet = sorted(state.pending)
+            raise RuntimeError(
+                f"jobs with unsatisfiable dependencies: {unmet[:5]}"
+            )
+        return state.resolved
+
+
+class _RunState:
+    """Mutable bookkeeping for one scheduler run."""
+
+    def __init__(self, scheduler: JobScheduler, on_complete, stats):
+        self.store = scheduler.store
+        self.on_complete = on_complete
+        self.stats = stats
+        self.resolved: dict[str, dict] = {}
+        self.pending: dict[str, JobSpec] = {}
+        self.seen: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def admit(self, job: JobSpec) -> None:
+        """Add one job, resolving it from cache when possible."""
+        if job.job_id in self.seen:
+            return
+        self.seen.add(job.job_id)
+        payload = None
+        if job.cache_in_memory:
+            payload = _memory_cache_get(job.fingerprint)
+        if payload is not None:
+            # Backfill stores that predate this cached payload, so a
+            # later --resume still finds the complete job chain.
+            if self.store is not None and job.fingerprint not in self.store:
+                self.store.put(job.fingerprint, job.kind, payload)
+        elif self.store is not None and job.fingerprint in self.store:
+            payload = self.store.get(job.fingerprint)
+        if payload is not None:
+            self.finish(job, payload, cached=True)
+        else:
+            self.pending[job.job_id] = job
+
+    def finish(self, job: JobSpec, payload: dict, cached: bool) -> None:
+        self.resolved[job.job_id] = payload
+        self.stats.count(job.kind, cached)
+        if not cached:
+            if job.cache_in_memory:
+                _memory_cache_put(job.fingerprint, payload)
+            if job.persist and self.store is not None:
+                self.store.put(job.fingerprint, job.kind, payload)
+        if job.expand is not None:
+            for child in job.expand(payload):
+                self.admit(child)
+        if self.on_complete is not None:
+            self.on_complete(job, payload, cached)
+
+    def dep_payloads(self, job: JobSpec) -> dict[str, dict]:
+        return {dep: self.resolved[dep] for dep in job.deps}
+
+    def ready(self, job: JobSpec) -> bool:
+        return all(dep in self.resolved for dep in job.deps)
+
+    def execute_inline(self, job: JobSpec) -> None:
+        deps = self.dep_payloads(job)
+        if job.worker is not None:
+            payload = job.worker(job.make_args(deps))
+        else:
+            payload = job.reduce_fn(deps)
+        self.finish(job, payload, cached=False)
+
+    # ------------------------------------------------------------------
+    def run_inline(self) -> None:
+        """Serial execution in deterministic admission order."""
+        progressed = True
+        while self.pending and progressed:
+            progressed = False
+            for job_id in list(self.pending):
+                job = self.pending.get(job_id)
+                if job is None or not self.ready(job):
+                    continue
+                del self.pending[job_id]
+                self.execute_inline(job)
+                progressed = True
+
+    def run_pooled(self, workers: int) -> None:
+        """Concurrent execution: pool jobs out-of-process, reductions
+        and expansions in the driver as soon as they are ready."""
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict = {}
+
+            def submit_ready() -> None:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for job_id in list(self.pending):
+                        job = self.pending.get(job_id)
+                        if job is None or not self.ready(job):
+                            continue
+                        del self.pending[job_id]
+                        progressed = True
+                        if job.worker is None:
+                            self.execute_inline(job)
+                        else:
+                            args = job.make_args(self.dep_payloads(job))
+                            futures[pool.submit(job.worker, args)] = job
+
+            submit_ready()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = futures.pop(future)
+                    self.finish(job, future.result(), cached=False)
+                submit_ready()

@@ -1,0 +1,104 @@
+"""Persistent result store: every completed job, one JSONL record.
+
+The store is the engine's memory across process boundaries: each record
+holds a job's fingerprint (its full parameter identity, see
+:mod:`repro.engine.fingerprint`), its kind, and its payload. A campaign
+killed mid-run leaves behind a store whose finished jobs are simply
+loaded instead of re-executed on the next invocation (``--resume``);
+re-running an already-complete campaign executes nothing at all.
+
+Records are appended with a flush + fsync per job, so at most the
+record being written when the process dies can be lost; a truncated
+trailing line is detected and skipped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class ResultStore:
+    """Append-only fingerprint -> (kind, payload) store.
+
+    ``path=None`` gives an in-memory store (no persistence) with the
+    same interface, which is what ephemeral campaigns use.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, dict] = {}
+        self._handle = None
+        self.dropped_lines = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    fp = record["fp"]
+                    record["kind"], record["payload"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Interrupted append: tolerate and let the job re-run.
+                    self.dropped_lines += 1
+                    continue
+                self._records[fp] = record
+
+    def _append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def __contains__(self, fp: str) -> bool:
+        return fp in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, fp: str) -> dict | None:
+        """Payload of a finished job, or None."""
+        record = self._records.get(fp)
+        return record["payload"] if record is not None else None
+
+    def kind_of(self, fp: str) -> str | None:
+        record = self._records.get(fp)
+        return record["kind"] if record is not None else None
+
+    def put(self, fp: str, kind: str, payload: dict) -> None:
+        """Record one finished job (idempotent per fingerprint)."""
+        if fp in self._records:
+            return
+        record = {"fp": fp, "kind": kind, "payload": payload}
+        self._records[fp] = record
+        self._append(record)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """kind -> number of finished jobs (for summaries)."""
+        counts: dict[str, int] = {}
+        for record in self._records.values():
+            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        return counts
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -5,7 +5,24 @@
 * :mod:`repro.experiments.fig3_epf` — Fig. 3 (executions per failure)
 
 CLI: ``python -m repro.experiments <fig1|fig2|fig3|all> [options]`` or
-the installed ``repro-experiments`` entry point.
+the installed ``repro-experiments`` entry point. Campaigns run on the
+job-graph execution engine (:mod:`repro.engine`); the most useful
+flags:
+
+* ``--samples N`` / ``--scale tiny|small|default`` — campaign size
+  (paper scale: 2000 samples, default inputs);
+* ``--gpus`` / ``--workloads`` — matrix subset (``--list-gpus`` and
+  ``--list-workloads`` enumerate the choices);
+* ``--workers N`` — process-pool size; whole (GPU, benchmark) cells
+  run concurrently, results identical for any value;
+* ``--resume STORE`` — persistent JSONL result store: interrupted
+  campaigns resume without re-executing finished jobs, repeated
+  invocations are incremental, and the three figures share golden
+  runs;
+* ``--shard-size N`` — live fault plans per FI-shard job;
+* ``--seed`` / ``--out CSV`` — RNG seed and CSV export.
+
+Each run ends with a campaign summary: jobs total / cached / executed.
 """
 
 from repro.experiments.fig1_regfile_avf import run_fig1

@@ -18,7 +18,9 @@ from repro.sim.faults import REGISTER_FILE
 def run_fig1(samples: int | None = None, scale: str | None = None,
              gpus: list | None = None, workloads: list | None = None,
              seed: int = 0, out_csv: str | None = None,
-             progress=None, workers: int = 1) -> tuple[list[CellResult], str]:
+             progress=None, workers: int = 1, store=None,
+             shard_size: int | None = None,
+             stats=None) -> tuple[list[CellResult], str]:
     """Run the Fig. 1 campaign; returns (cells, formatted report)."""
     cells = run_matrix(
         gpus=gpus if gpus is not None else list_scaled_gpus(),
@@ -29,6 +31,9 @@ def run_fig1(samples: int | None = None, scale: str | None = None,
         structures=(REGISTER_FILE,),
         progress=progress,
         workers=workers,
+        store=store,
+        shard_size=shard_size,
+        stats=stats,
     )
     report = format_avf_figure(
         cells, REGISTER_FILE,

@@ -27,7 +27,9 @@ def local_memory_workloads(scale: str = "small") -> list:
 def run_fig2(samples: int | None = None, scale: str | None = None,
              gpus: list | None = None, workloads: list | None = None,
              seed: int = 0, out_csv: str | None = None,
-             progress=None, workers: int = 1) -> tuple[list[CellResult], str]:
+             progress=None, workers: int = 1, store=None,
+             shard_size: int | None = None,
+             stats=None) -> tuple[list[CellResult], str]:
     """Run the Fig. 2 campaign; returns (cells, formatted report)."""
     if workloads is None:
         workloads = local_memory_workloads(scale or "small")
@@ -40,6 +42,9 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
         structures=(LOCAL_MEMORY,),
         progress=progress,
         workers=workers,
+        store=store,
+        shard_size=shard_size,
+        stats=stats,
     )
     report = format_avf_figure(
         cells, LOCAL_MEMORY,

@@ -1,9 +1,18 @@
 """Command-line entry point for the experiment harnesses.
 
+Campaigns run on the job-graph execution engine: golden runs are shared
+between figures, ``--workers`` runs whole (GPU, benchmark) cells
+concurrently, and ``--resume STORE`` persists every finished job so a
+killed campaign picks up where it left off and identical re-invocations
+execute nothing. A summary line (jobs total / cached / executed) is
+printed after each run.
+
 Examples::
 
     repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
     repro-experiments fig3 --gpus gtx480 hd7970 --workloads matrixMul kmeans
+    repro-experiments all --workers 8 --resume results/store.jsonl
+    repro-experiments --list-gpus
     python -m repro.experiments all --samples 100
 """
 
@@ -13,11 +22,13 @@ import argparse
 import sys
 import time
 
-from repro.arch.scaling import get_scaled_gpu, list_scaled_gpus
+from repro.arch.presets import GPU_ALIASES, GPU_PRESETS
+from repro.arch.scaling import get_scaled_gpu
+from repro.engine import CampaignStats, ResultStore
 from repro.experiments.fig1_regfile_avf import run_fig1
 from repro.experiments.fig2_localmem_avf import run_fig2
 from repro.experiments.fig3_epf import run_fig3
-from repro.kernels.registry import KERNEL_NAMES
+from repro.kernels.registry import KERNEL_NAMES, get_workload
 
 _EXPERIMENTS = {
     "fig1": run_fig1,
@@ -32,8 +43,16 @@ def _parse_args(argv):
         description="Regenerate the figures of Vallero et al., ISPASS 2017.",
     )
     parser.add_argument(
-        "experiment", choices=sorted(_EXPERIMENTS) + ["all"],
+        "experiment", choices=sorted(_EXPERIMENTS) + ["all"], nargs="?",
         help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--list-gpus", action="store_true",
+        help="list the known chips (and their CLI aliases) and exit",
+    )
+    parser.add_argument(
+        "--list-workloads", action="store_true",
+        help="list the benchmark suite and exit",
     )
     parser.add_argument(
         "--samples", type=int, default=None,
@@ -55,8 +74,19 @@ def _parse_args(argv):
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--workers", type=int, default=1,
-        help="process-pool size for fault re-simulations (default: serial; "
-             "results are identical for any value)",
+        help="process-pool size; cells run concurrently across the pool "
+             "(default: serial; results are identical for any value)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="STORE",
+        help="persistent result store (JSONL): finished jobs are loaded "
+             "instead of re-executed, new ones are appended — interrupted "
+             "campaigns resume, repeated ones are incremental",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="live fault plans per FI-shard job (default: 24; any value "
+             "gives identical results)",
     )
     parser.add_argument(
         "--out", default=None, metavar="CSV",
@@ -75,29 +105,64 @@ def _progress(cell):
     )
 
 
+def _list_gpus() -> None:
+    for name, config in GPU_PRESETS.items():
+        aliases = sorted(a for a, full in GPU_ALIASES.items() if full == name)
+        print(f"{name:<18} aliases: {', '.join(aliases):<28} "
+              f"{config.describe()}")
+
+
+def _list_workloads() -> None:
+    for name in KERNEL_NAMES:
+        workload = get_workload(name, "small")
+        lmem = "local-memory" if workload.uses_local_memory else "no local mem"
+        print(f"{name:<12} [{lmem}]  {workload.description}")
+
+
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    if args.list_gpus:
+        _list_gpus()
+        return 0
+    if args.list_workloads:
+        _list_workloads()
+        return 0
+    if args.experiment is None:
+        print("error: an experiment (fig1|fig2|fig3|all) is required "
+              "unless --list-gpus/--list-workloads is given",
+              file=sys.stderr)
+        return 2
     gpus = None
     if args.gpus is not None:
         gpus = [get_scaled_gpu(name) for name in args.gpus]
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        out_csv = args.out
-        if out_csv and args.experiment == "all":
-            out_csv = out_csv.replace(".csv", f"_{name}.csv")
-        print(f"== running {name} ==", file=sys.stderr, flush=True)
-        _, report = _EXPERIMENTS[name](
-            samples=args.samples,
-            scale=args.scale,
-            gpus=gpus,
-            workloads=args.workloads,
-            seed=args.seed,
-            out_csv=out_csv,
-            progress=_progress,
-            workers=args.workers,
-        )
-        print(report)
-        print()
+    store = ResultStore(args.resume) if args.resume else None
+    try:
+        for name in names:
+            out_csv = args.out
+            if out_csv and args.experiment == "all":
+                out_csv = out_csv.replace(".csv", f"_{name}.csv")
+            print(f"== running {name} ==", file=sys.stderr, flush=True)
+            stats = CampaignStats()
+            _, report = _EXPERIMENTS[name](
+                samples=args.samples,
+                scale=args.scale,
+                gpus=gpus,
+                workloads=args.workloads,
+                seed=args.seed,
+                out_csv=out_csv,
+                progress=_progress,
+                workers=args.workers,
+                store=store,
+                shard_size=args.shard_size,
+                stats=stats,
+            )
+            print(report)
+            print()
+            print(stats.summary(), file=sys.stderr, flush=True)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

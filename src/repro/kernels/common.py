@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import zlib
 
 import numpy as np
 
@@ -16,8 +17,16 @@ SEED_BASE = 20170424  # ISPASS 2017 keynote date
 
 
 def rng_for(name: str) -> np.random.Generator:
-    """Deterministic per-benchmark RNG."""
-    return np.random.default_rng(SEED_BASE + (hash(name) & 0xFFFF))
+    """Deterministic per-benchmark RNG.
+
+    Seeded with a stable hash: builtin ``hash()`` is randomized per
+    process (PYTHONHASHSEED), which would give every Python process a
+    different input set — fatal for resumable campaigns that compare
+    re-simulated outputs against golden outputs recorded by an earlier
+    process.
+    """
+    return np.random.default_rng(
+        SEED_BASE + (zlib.crc32(name.encode("utf-8")) & 0xFFFF))
 
 
 def uniform_f32(rng, n, low=-1.0, high=1.0) -> np.ndarray:

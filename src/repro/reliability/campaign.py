@@ -14,9 +14,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.arch.config import GpuConfig
-from repro.arch.presets import list_gpus
 from repro.errors import ConfigError
-from repro.kernels.registry import KERNEL_NAMES, get_workload
+from repro.kernels.registry import get_workload
 from repro.reliability.epf import RAW_FIT_PER_BIT, EpfResult, compute_epf
 from repro.reliability.fi import AvfEstimate, GoldenRun, run_fi_campaign, run_golden
 from repro.reliability.liveness import AceMode
@@ -145,39 +144,53 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
                scale: str | None = None, samples: int | None = None,
                seed: int = 0, scheduler: str = "rr",
                structures: tuple = STRUCTURES,
-               progress=None, workers: int = 1) -> list[CellResult]:
-    """Run the full (GPU x benchmark) matrix the figures are built from."""
-    gpus = gpus if gpus is not None else list_gpus()
-    workloads = workloads if workloads is not None else list(KERNEL_NAMES)
-    cells: list[CellResult] = []
-    for config in gpus:
-        for name in workloads:
-            cell = run_cell(
-                config, name, scale=scale, samples=samples, seed=seed,
-                scheduler=scheduler, structures=structures, workers=workers,
-            )
-            cells.append(cell)
-            if progress is not None:
-                progress(cell)
-    return cells
+               progress=None, workers: int = 1,
+               store=None, shard_size: int | None = None,
+               stats=None) -> list[CellResult]:
+    """Run the full (GPU x benchmark) matrix the figures are built from.
+
+    Delegates to the job-graph engine (:mod:`repro.engine.matrix`):
+    ``workers > 1`` runs whole cells concurrently on a process pool,
+    ``store`` (a path or :class:`repro.engine.ResultStore`) makes the
+    campaign resumable and incremental, and ``stats`` (a
+    :class:`repro.engine.CampaignStats`) collects the jobs
+    total/cached/executed accounting. Results are bit-identical to the
+    serial per-cell loop for every setting.
+    """
+    from repro.engine.matrix import run_campaign
+    result = run_campaign(
+        gpus=gpus, workloads=workloads, scale=scale, samples=samples,
+        seed=seed, scheduler=scheduler, structures=structures,
+        shard_size=shard_size, workers=workers, store=store,
+        progress=progress, stats=stats,
+    )
+    return result.cells
 
 
 def average_cell(cells: list[CellResult], gpu: str) -> dict:
-    """Per-GPU averages across benchmarks (the figures' 'average' group)."""
+    """Per-GPU averages across benchmarks (the figures' 'average' group).
+
+    Register-file metrics average over every benchmark; local-memory
+    metrics average only over the benchmarks that allocate local memory
+    (the paper's Fig. 2 subset) — benchmarks without local memory have
+    a structurally-zero AVF that would otherwise dilute the average.
+    """
     mine = [cell for cell in cells if cell.gpu == gpu]
     if not mine:
         raise ConfigError(f"no cells for GPU {gpu!r}")
+    lmem = [cell for cell in mine if cell.uses_local_memory]
 
-    def mean(getter):
-        values = [getter(cell) for cell in mine]
-        return sum(values) / len(values)
+    def mean(cells_, getter):
+        if not cells_:
+            return 0.0
+        return sum(getter(cell) for cell in cells_) / len(cells_)
 
     return {
         "gpu": gpu,
-        "avf_fi_regfile": mean(lambda c: c.avf_fi(REGISTER_FILE)),
-        "avf_ace_regfile": mean(lambda c: c.avf_ace(REGISTER_FILE)),
-        "occ_regfile": mean(lambda c: c.occupancy.get(REGISTER_FILE, 0.0)),
-        "avf_fi_localmem": mean(lambda c: c.avf_fi(LOCAL_MEMORY)),
-        "avf_ace_localmem": mean(lambda c: c.avf_ace(LOCAL_MEMORY)),
-        "occ_localmem": mean(lambda c: c.occupancy.get(LOCAL_MEMORY, 0.0)),
+        "avf_fi_regfile": mean(mine, lambda c: c.avf_fi(REGISTER_FILE)),
+        "avf_ace_regfile": mean(mine, lambda c: c.avf_ace(REGISTER_FILE)),
+        "occ_regfile": mean(mine, lambda c: c.occupancy.get(REGISTER_FILE, 0.0)),
+        "avf_fi_localmem": mean(lmem, lambda c: c.avf_fi(LOCAL_MEMORY)),
+        "avf_ace_localmem": mean(lmem, lambda c: c.avf_ace(LOCAL_MEMORY)),
+        "occ_localmem": mean(lmem, lambda c: c.occupancy.get(LOCAL_MEMORY, 0.0)),
     }

@@ -126,22 +126,34 @@ class CampaignOutput:
     results: list = field(default_factory=list)  # list[FaultResult]
 
 
-def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
-                golden: GoldenRun) -> FaultResult:
-    """Full faulty run for one live fault site."""
-    gpu = Gpu(config, scheduler=golden.scheduler)
+def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
+                    golden_outputs: dict, golden_cycles: int,
+                    scheduler: str) -> FaultResult:
+    """Full faulty run for one live fault site.
+
+    The single deterministic re-simulation primitive shared by the
+    serial path, the per-cell process pool, and the campaign engine's
+    FI-shard jobs (:mod:`repro.engine.jobs`).
+    """
+    gpu = Gpu(config, scheduler=scheduler)
     gpu.set_faults([plan])
-    gpu.set_watchdog(default_watchdog_for(golden.cycles))
+    gpu.set_watchdog(default_watchdog_for(golden_cycles))
     try:
         result = run_workload(gpu, workload)
     except SimFault as fault:
         return FaultResult(plan, Outcome.DUE, True, detail=type(fault).__name__)
-    outcome = classify_outputs(golden.outputs, result.outputs)
+    outcome = classify_outputs(golden_outputs, result.outputs)
     corrupted = (
-        count_corrupted_words(golden.outputs, result.outputs)
+        count_corrupted_words(golden_outputs, result.outputs)
         if outcome is Outcome.SDC else 0
     )
     return FaultResult(plan, outcome, True, corrupted_words=corrupted)
+
+
+def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
+                golden: GoldenRun) -> FaultResult:
+    return resimulate_plan(config, workload, plan, golden.outputs,
+                           golden.cycles, golden.scheduler)
 
 
 def _resim_worker(args) -> tuple:
@@ -154,19 +166,9 @@ def _resim_worker(args) -> tuple:
      golden_cycles, plan) = args
     from repro.kernels.registry import get_workload
     workload = get_workload(workload_name, scale)
-    gpu = Gpu(config, scheduler=scheduler)
-    gpu.set_faults([plan])
-    gpu.set_watchdog(default_watchdog_for(golden_cycles))
-    try:
-        result = run_workload(gpu, workload)
-    except SimFault as fault:
-        return plan, Outcome.DUE.value, type(fault).__name__, 0
-    outcome = classify_outputs(golden_outputs, result.outputs)
-    corrupted = (
-        count_corrupted_words(golden_outputs, result.outputs)
-        if outcome is Outcome.SDC else 0
-    )
-    return plan, outcome.value, "", corrupted
+    result = resimulate_plan(config, workload, plan, golden_outputs,
+                             golden_cycles, scheduler)
+    return plan, result.outcome.value, result.detail, result.corrupted_words
 
 
 def _resimulate_batch(config: GpuConfig, workload: Workload,

@@ -1,0 +1,141 @@
+"""Result store round-trips and job fingerprint invalidation."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.engine.fingerprint import (
+    cell_params,
+    fingerprint,
+    golden_params,
+    plan_params,
+    shard_params,
+)
+from repro.engine.jobs import decode_outputs, encode_outputs
+from repro.engine.store import ResultStore
+from repro.reliability.liveness import AceMode
+from tests.conftest import MINI_AMD, MINI_NVIDIA
+
+
+class TestResultStore:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put("fp1", "golden", {"cycles": 123})
+            store.put("fp2", "shard", {"results": [[1, 2]]})
+        reloaded = ResultStore(path)
+        assert "fp1" in reloaded and "fp2" in reloaded
+        assert reloaded.get("fp1") == {"cycles": 123}
+        assert reloaded.get("fp2") == {"results": [[1, 2]]}
+        assert reloaded.kind_of("fp1") == "golden"
+        assert len(reloaded) == 2
+        assert reloaded.counts_by_kind() == {"golden": 1, "shard": 1}
+
+    def test_put_is_idempotent(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put("fp", "cell", {"v": 1})
+            store.put("fp", "cell", {"v": 2})  # ignored: already recorded
+        assert ResultStore(path).get("fp") == {"v": 1}
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put("fp1", "golden", {"cycles": 1})
+            store.put("fp2", "golden", {"cycles": 2})
+        path.write_text(path.read_text()[:-20])  # kill mid-append
+        reloaded = ResultStore(path)
+        assert reloaded.dropped_lines == 1
+        assert "fp1" in reloaded and "fp2" not in reloaded
+
+    def test_non_record_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"fp": "x"}\n[1, 2]\n')
+        reloaded = ResultStore(path)
+        assert reloaded.dropped_lines == 2
+        assert len(reloaded) == 0
+
+    def test_memory_store_does_not_persist(self, tmp_path):
+        store = ResultStore(None)
+        store.put("fp", "golden", {"cycles": 9})
+        assert store.get("fp") == {"cycles": 9}
+        assert store.path is None
+
+    def test_missing_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.get("nope") is None
+        assert store.kind_of("nope") is None
+        assert "nope" not in store
+
+
+class TestOutputCodec:
+    def test_outputs_round_trip_bit_exact(self):
+        outputs = {
+            "a": np.arange(17, dtype=np.uint32),
+            "b": np.array([[1.5, -0.0], [np.inf, 3.25]], dtype=np.float32),
+        }
+        decoded = decode_outputs(json.loads(json.dumps(encode_outputs(outputs))))
+        for name, want in outputs.items():
+            assert decoded[name].dtype == want.dtype
+            assert decoded[name].shape == want.shape
+            assert np.array_equal(
+                decoded[name].view(np.uint8), want.view(np.uint8))
+
+
+class TestFingerprints:
+    def test_same_params_same_fingerprint(self):
+        a = fingerprint("golden", golden_params(
+            MINI_NVIDIA, "histogram", "tiny", "rr", AceMode.CONSERVATIVE))
+        b = fingerprint("golden", golden_params(
+            MINI_NVIDIA, "histogram", "tiny", "rr", AceMode.CONSERVATIVE))
+        assert a == b
+
+    @pytest.mark.parametrize("mutate", [
+        lambda p: golden_params(MINI_AMD, "histogram", "tiny", "rr",
+                                AceMode.CONSERVATIVE),
+        lambda p: golden_params(MINI_NVIDIA, "scan", "tiny", "rr",
+                                AceMode.CONSERVATIVE),
+        lambda p: golden_params(MINI_NVIDIA, "histogram", "small", "rr",
+                                AceMode.CONSERVATIVE),
+        lambda p: golden_params(MINI_NVIDIA, "histogram", "tiny", "gtlo",
+                                AceMode.CONSERVATIVE),
+        lambda p: golden_params(MINI_NVIDIA, "histogram", "tiny", "rr",
+                                AceMode.LANE_MASKED),
+    ])
+    def test_any_golden_param_change_invalidates(self, mutate):
+        base = fingerprint("golden", golden_params(
+            MINI_NVIDIA, "histogram", "tiny", "rr", AceMode.CONSERVATIVE))
+        assert fingerprint("golden", mutate(None)) != base
+
+    def test_latency_change_invalidates(self):
+        tweaked = replace(
+            MINI_NVIDIA, latency=replace(MINI_NVIDIA.latency, alu=9))
+        a = fingerprint("golden", golden_params(
+            MINI_NVIDIA, "histogram", "tiny", "rr", AceMode.CONSERVATIVE))
+        b = fingerprint("golden", golden_params(
+            tweaked, "histogram", "tiny", "rr", AceMode.CONSERVATIVE))
+        assert a != b
+
+    def test_plan_fingerprint_tracks_samples_seed_structures(self):
+        base = fingerprint("plan", plan_params("g", 100, 0, ("register_file",)))
+        assert fingerprint("plan", plan_params("g", 101, 0,
+                                               ("register_file",))) != base
+        assert fingerprint("plan", plan_params("g", 100, 1,
+                                               ("register_file",))) != base
+        assert fingerprint("plan", plan_params(
+            "g", 100, 0, ("register_file", "local_memory"))) != base
+        assert fingerprint("plan", plan_params("x", 100, 0,
+                                               ("register_file",))) != base
+
+    def test_shard_and_cell_fingerprints(self):
+        assert fingerprint("shard", shard_params("p", 0, 24)) != \
+               fingerprint("shard", shard_params("p", 24, 48))
+        assert fingerprint("cell", cell_params("p", 1e-3)) != \
+               fingerprint("cell", cell_params("p", 2e-3))
+
+    def test_kind_is_part_of_identity(self):
+        params = {"x": 1}
+        assert fingerprint("golden", params) != fingerprint("plan", params)

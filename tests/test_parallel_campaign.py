@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.engine import clear_memory_cache
 from repro.errors import ConfigError
 from repro.kernels.registry import get_workload
+from repro.reliability.campaign import run_cell, run_matrix
 from repro.reliability.fi import run_fi_campaign, run_golden
 from repro.reliability.outcomes import Outcome
-from repro.sim.faults import REGISTER_FILE
-from tests.conftest import MINI_NVIDIA
+from repro.sim.faults import REGISTER_FILE, STRUCTURES
+from tests.conftest import MINI_AMD, MINI_NVIDIA
 
 
 class TestParallelCampaign:
@@ -42,6 +44,62 @@ class TestParallelCampaign:
         with pytest.raises(ConfigError, match="registry workload"):
             run_fi_campaign(MINI_NVIDIA, clone, golden, samples=30,
                             seed=0, workers=2)
+
+
+class TestCellParallelMatrix:
+    """Cell-level parallelism (the engine) vs the serial matrix."""
+
+    GPUS = [MINI_NVIDIA, MINI_AMD]
+    WORKLOADS = ["histogram", "vectoradd"]
+
+    @staticmethod
+    def _comparable(cell):
+        row = cell.row()
+        row.pop("golden_time_s")
+        row.pop("fi_time_s")
+        return row
+
+    def test_matrix_workers_do_not_change_results(self):
+        kwargs = dict(gpus=self.GPUS, workloads=self.WORKLOADS,
+                      scale="tiny", samples=24, seed=5,
+                      structures=STRUCTURES)
+        clear_memory_cache()
+        serial = run_matrix(workers=1, **kwargs)
+        clear_memory_cache()
+        parallel = run_matrix(workers=3, shard_size=5, **kwargs)
+        assert [self._comparable(c) for c in serial] == \
+               [self._comparable(c) for c in parallel]
+        for left, right in zip(serial, parallel):
+            assert left.epf.epf == right.epf.epf
+            assert left.epf.fit_by_structure == right.epf.fit_by_structure
+            for structure in STRUCTURES:
+                a, b = left.fi[structure], right.fi[structure]
+                assert (a.masked, a.sdc, a.due, a.pruned, a.resimulated) == \
+                       (b.masked, b.sdc, b.due, b.pruned, b.resimulated)
+
+    def test_matrix_matches_legacy_serial_cells(self):
+        """The engine reproduces run_cell bit for bit, cell by cell."""
+        clear_memory_cache()
+        cells = run_matrix(gpus=[MINI_NVIDIA], workloads=self.WORKLOADS,
+                           scale="tiny", samples=24, seed=5,
+                           structures=STRUCTURES)
+        for cell in cells:
+            legacy = run_cell(MINI_NVIDIA, cell.workload, scale="tiny",
+                              samples=24, seed=5, structures=STRUCTURES)
+            assert self._comparable(cell) == self._comparable(legacy)
+            assert cell.ace == legacy.ace
+            assert cell.occupancy == legacy.occupancy
+            assert cell.epf.epf == legacy.epf.epf
+
+    def test_shard_size_does_not_change_results(self):
+        kwargs = dict(gpus=[MINI_NVIDIA], workloads=["histogram"],
+                      scale="tiny", samples=30, seed=7,
+                      structures=STRUCTURES)
+        clear_memory_cache()
+        coarse = run_matrix(shard_size=64, **kwargs)
+        fine = run_matrix(shard_size=1, workers=2, **kwargs)
+        assert [self._comparable(c) for c in coarse] == \
+               [self._comparable(c) for c in fine]
 
 
 class TestSdcSeverity:
