@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Gate the bench-smoke CI job on the parallel-engine speedup.
+
+Reads a pytest-benchmark JSON export (``--benchmark-json``) produced by
+``benchmarks/bench_matrix_parallel.py``, prints one trend line per
+benchmark (the datapoints the bench trajectory is built from), and
+exits non-zero if the pooled matrix run was slower than the serial one
+— the engine's parallelism must never be a pessimisation, even at CI's
+tiny scale.
+
+Usage::
+
+    python scripts/check_bench.py BENCH_ci.json [--min-speedup 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(path: Path, min_speedup: float) -> int:
+    data = json.loads(path.read_text())
+    benchmarks = data.get("benchmarks", [])
+    if not benchmarks:
+        print(f"error: no benchmarks recorded in {path}", file=sys.stderr)
+        return 2
+    failures = 0
+    for bench in benchmarks:
+        info = bench.get("extra_info", {})
+        name = bench.get("name", "?")
+        serial = info.get("serial_s")
+        parallel = info.get("parallel_s")
+        if serial is None or parallel is None:
+            # Not a serial-vs-parallel bench; report the mean and move on.
+            mean = bench.get("stats", {}).get("mean", float("nan"))
+            print(f"{name}: mean {mean:.3f}s (no speedup gate)")
+            continue
+        speedup = serial / parallel if parallel else float("inf")
+        workers = info.get("workers", "?")
+        verdict = "ok" if speedup >= min_speedup else "SLOWER THAN SERIAL"
+        print(f"{name}: workers=1 {serial:.2f}s  workers={workers} "
+              f"{parallel:.2f}s  speedup x{speedup:.2f}  [{verdict}]")
+        if speedup < min_speedup:
+            failures += 1
+    if failures:
+        print(f"error: {failures} benchmark(s) below the x{min_speedup} "
+              "speedup gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", type=Path,
+                        help="pytest-benchmark JSON export")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail if serial/parallel falls below this "
+                             "(default: 1.0 — parallel must not lose)")
+    args = parser.parse_args(argv)
+    return check(args.json_path, args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,15 @@ from repro.errors import (
     SimFault,
     WatchdogTimeout,
 )
+from repro.faultmodels import (
+    FAULT_MODELS,
+    FaultModel,
+    MultiBitUpset,
+    StuckAt,
+    TransientBitFlip,
+    get_fault_model,
+    list_fault_models,
+)
 from repro.kernels import (
     KERNEL_NAMES,
     RunResult,
@@ -86,6 +95,9 @@ __all__ = [
     # simulator
     "Gpu", "LaunchConfig", "pack_params",
     "FaultPlan", "sample_faults", "REGISTER_FILE", "LOCAL_MEMORY",
+    # fault models
+    "FaultModel", "TransientBitFlip", "StuckAt", "MultiBitUpset",
+    "FAULT_MODELS", "get_fault_model", "list_fault_models",
     # benchmarks
     "KERNEL_NAMES", "Workload", "RunResult",
     "get_workload", "list_workloads", "run_workload",

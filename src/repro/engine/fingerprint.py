@@ -55,14 +55,25 @@ def golden_params(config: GpuConfig, workload: str, scale: str,
 
 
 def plan_params(golden_fp: str, samples: int, seed: int,
-                structures: tuple) -> dict:
-    """Parameters of one fault-sampling + dead-site-pruning pass."""
-    return {
+                structures: tuple,
+                fault_model: str = "transient") -> dict:
+    """Parameters of one fault-sampling + dead-site-pruning pass.
+
+    The fault model is part of the plan identity, so campaigns with
+    different models never collide in a store. The default transient
+    model is *omitted* from the parameter set: its fingerprints stay
+    byte-identical to the single-model era, so existing stores resume
+    cleanly.
+    """
+    params = {
         "golden": golden_fp,
         "samples": samples,
         "seed": seed,
         "structures": list(structures),
     }
+    if fault_model != "transient":
+        params["fault_model"] = fault_model
+    return params
 
 
 def shard_params(plan_fp: str, start: int, stop: int) -> dict:

@@ -30,6 +30,7 @@ import time
 import numpy as np
 
 from repro.arch.config import GpuConfig
+from repro.faultmodels.registry import get_fault_model
 from repro.kernels.registry import get_workload
 from repro.kernels.workload import run_workload
 from repro.reliability.campaign import CellResult
@@ -37,7 +38,7 @@ from repro.reliability.epf import EpfResult, compute_epf
 from repro.reliability.fi import AvfEstimate, resimulate_plan, run_golden
 from repro.reliability.liveness import AceMode, FaultSiteResolver
 from repro.reliability.outcomes import Outcome
-from repro.sim.faults import STRUCTURES, FaultPlan, sample_faults
+from repro.sim.faults import STRUCTURES, FaultPlan
 from repro.sim.gpu import Gpu
 
 GOLDEN, PLAN, SHARD, CELL = "golden", "plan", "shard", "cell"
@@ -95,6 +96,38 @@ def run_golden_job(args: tuple) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Fault-plan row codec (FaultPlan <-> JSON-safe row / sortable key)
+# ----------------------------------------------------------------------
+#
+# Plan-payload rows are ``[core, word, bit, cycle, alive]`` for
+# default-geometry plans (single transient-style bit) — byte-identical
+# to the single-model store format, so old stores keep resolving — and
+# grow a ``[..., width, stuck_value]`` suffix only for plans that need
+# it (MBU clusters, stuck-at polarity). Keys prepend the structure and
+# drop ``alive``.
+
+def encode_plan_row(plan: FaultPlan, alive: bool) -> list:
+    """JSON row for one sampled plan (+ its pruning verdict)."""
+    row = [plan.core, plan.word, plan.bit, plan.cycle, bool(alive)]
+    if plan.width != 1 or plan.stuck_value != -1:
+        row += [plan.width, plan.stuck_value]
+    return row
+
+
+def plan_key_from_row(structure: str, row: list) -> tuple:
+    """(structure, core, word, bit, cycle[, width, stuck]) sort key."""
+    return (structure, row[0], row[1], row[2], row[3], *row[5:])
+
+
+def plan_from_key(key: tuple) -> FaultPlan:
+    """Rehydrate a FaultPlan from a plan key (inverse of the above)."""
+    structure, core, word, bit, cycle, *extra = key
+    width, stuck_value = extra if extra else (1, -1)
+    return FaultPlan(structure=structure, core=core, word=word, bit=bit,
+                     cycle=cycle, width=width, stuck_value=stuck_value)
+
+
+# ----------------------------------------------------------------------
 # Plan (sampling + pruning) job
 # ----------------------------------------------------------------------
 
@@ -102,27 +135,27 @@ def run_plan_job(args: tuple) -> dict:
     """Worker: draw fault plans and prune provably-dead sites.
 
     Sampling reproduces the serial path exactly: one generator seeded
-    with ``seed``, structures drawn in campaign order, so the engine's
-    plans are bit-identical to ``run_fi_campaign``'s for any worker
-    count or shard size.
+    with ``seed``, structures drawn in campaign order through the
+    campaign's fault model, so the engine's plans are bit-identical to
+    ``run_fi_campaign``'s for any worker count or shard size.
     """
     (config, workload_name, scale, scheduler, cycles, samples, seed,
-     structures) = args
+     structures, fault_model) = args
+    model = get_fault_model(fault_model)
     start = time.perf_counter()
     rng = np.random.default_rng(seed)
     plans_by_structure = {
-        structure: sample_faults(config, structure, cycles, samples, rng)
+        structure: model.sample(config, structure, cycles, samples, rng)
         for structure in structures
     }
     all_plans = [p for plans in plans_by_structure.values() for p in plans]
-    resolver = FaultSiteResolver(config, all_plans)
+    resolver = FaultSiteResolver(config, all_plans, fault_model=model)
     gpu = Gpu(config, scheduler=scheduler, sink=resolver)
     run_workload(gpu, get_workload(workload_name, scale))
     return {
         "plans": {
             structure: [
-                [p.core, p.word, p.bit, p.cycle, bool(resolver.is_live(p))]
-                for p in plans
+                encode_plan_row(p, resolver.is_live(p)) for p in plans
             ]
             for structure, plans in plans_by_structure.items()
         },
@@ -133,15 +166,15 @@ def run_plan_job(args: tuple) -> dict:
 def live_plan_keys(plan_payload: dict) -> list[tuple]:
     """Deduplicated live plans in the serial path's re-simulation order.
 
-    Keys are (structure, core, word, bit, cycle) tuples sorted exactly
-    like ``run_fi_campaign`` sorts its live set; shard jobs cover
-    contiguous slices of this list.
+    Keys are (structure, core, word, bit, cycle[, width, stuck])
+    tuples sorted exactly like ``run_fi_campaign`` sorts its live set;
+    shard jobs cover contiguous slices of this list.
     """
     live = {
-        (structure, core, word, bit, cycle)
+        plan_key_from_row(structure, row)
         for structure, rows in plan_payload["plans"].items()
-        for core, word, bit, cycle, alive in rows
-        if alive
+        for row in rows
+        if row[4]
     }
     return sorted(live)
 
@@ -166,21 +199,24 @@ def _decoded_outputs_for(golden_fp: str, outputs_encoded: dict) -> dict:
 
 
 def run_shard_job(args: tuple) -> dict:
-    """Worker: fully re-simulate one slice of live fault plans."""
+    """Worker: fully re-simulate one slice of live fault plans.
+
+    Result rows are ``[*plan_key, outcome, detail, corrupted]`` — the
+    same 8-element flat rows as the single-model era for default plan
+    keys, with the key's width/stuck suffix inlined for extended ones.
+    """
     (config, workload_name, scale, scheduler, cycles, golden_fp,
-     outputs_encoded, plan_keys) = args
+     outputs_encoded, plan_keys, fault_model) = args
     outputs = _decoded_outputs_for(golden_fp, outputs_encoded)
     workload = get_workload(workload_name, scale)
     start = time.perf_counter()
     results = []
-    for structure, core, word, bit, cycle in plan_keys:
-        plan = FaultPlan(structure=structure, core=core, word=word,
-                         bit=bit, cycle=cycle)
+    for key in plan_keys:
+        plan = plan_from_key(tuple(key))
         result = resimulate_plan(config, workload, plan, outputs, cycles,
-                                 scheduler)
+                                 scheduler, fault_model=fault_model)
         results.append([
-            structure, core, word, bit, cycle,
-            result.outcome.value, result.detail, result.corrupted_words,
+            *key, result.outcome.value, result.detail, result.corrupted_words,
         ])
     return {"results": results, "wall_time_s": time.perf_counter() - start}
 
@@ -193,7 +229,8 @@ def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
                     scheduler: str, samples: int, seed: int,
                     structures: tuple, raw_fit_per_bit: float,
                     uses_local_memory: bool, golden_payload: dict,
-                    plan_payload: dict, shard_payloads: list) -> dict:
+                    plan_payload: dict, shard_payloads: list,
+                    fault_model: str = "transient") -> dict:
     """Combine golden + plan + shard payloads into one cell payload.
 
     The counting mirrors ``run_fi_campaign`` line for line (pruned
@@ -205,10 +242,9 @@ def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
     resim_time = 0.0
     for shard in shard_payloads:
         resim_time += shard["wall_time_s"]
-        for structure, core, word, bit, cycle, value, detail, bad in \
-                shard["results"]:
-            outcome_by_key[(structure, core, word, bit, cycle)] = (
-                Outcome(value), detail, bad)
+        for row in shard["results"]:
+            outcome_by_key[tuple(row[:-3])] = (
+                Outcome(row[-3]), row[-2], row[-1])
     total_live = max(1, len(live_plan_keys(plan_payload)))
 
     estimates: dict[str, dict] = {}
@@ -216,12 +252,12 @@ def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
     for structure in structures:
         rows = plan_payload["plans"][structure]
         masked = sdc = due = pruned = resims = 0
-        for core, word, bit, cycle, alive in rows:
-            if not alive:
+        for row in rows:
+            if not row[4]:
                 masked += 1
                 pruned += 1
                 continue
-            outcome, _, _ = outcome_by_key[(structure, core, word, bit, cycle)]
+            outcome, _, _ = outcome_by_key[plan_key_from_row(structure, row)]
             resims += 1
             if outcome is Outcome.MASKED:
                 masked += 1
@@ -270,6 +306,7 @@ def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
         "samples": samples,
         "seed": seed,
         "uses_local_memory": uses_local_memory,
+        "fault_model": fault_model,
     }
 
 
@@ -296,4 +333,6 @@ def cell_from_payload(payload: dict) -> CellResult:
         samples=payload["samples"],
         seed=payload["seed"],
         uses_local_memory=payload["uses_local_memory"],
+        # Cell payloads from the single-model era predate the key.
+        fault_model=payload.get("fault_model", "transient"),
     )

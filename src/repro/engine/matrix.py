@@ -51,14 +51,16 @@ class CampaignResult:
 def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                samples: int, seed: int, scheduler: str, structures: tuple,
                ace_mode: AceMode, raw_fit_per_bit: float, shard_size: int,
-               store: ResultStore | None) -> tuple[list[JobSpec], str]:
+               store: ResultStore | None,
+               fault_model: str) -> tuple[list[JobSpec], str]:
     """Job chain for one cell; returns (root jobs, cell job id)."""
     golden_fp = fingerprint(
         jobs.GOLDEN,
         golden_params(config, workload_name, scale, scheduler, ace_mode),
     )
     plan_fp = fingerprint(
-        jobs.PLAN, plan_params(golden_fp, samples, seed, structures))
+        jobs.PLAN,
+        plan_params(golden_fp, samples, seed, structures, fault_model))
     cell_fp = fingerprint(jobs.CELL,
                           cell_params(plan_fp, raw_fit_per_bit))
     if store is not None and cell_fp in store:
@@ -93,7 +95,7 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                 make_args=lambda deps, chunk=chunk: (
                     config, workload_name, scale, scheduler,
                     deps[golden_fp]["cycles"], golden_fp,
-                    deps[golden_fp]["outputs"], chunk,
+                    deps[golden_fp]["outputs"], chunk, fault_model,
                 ),
             ))
 
@@ -103,6 +105,7 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                 structures, raw_fit_per_bit, uses_local_memory,
                 deps[golden_fp], deps[plan_fp],
                 [deps[shard_id] for shard_id in shard_ids],
+                fault_model=fault_model,
             )
 
         specs.append(JobSpec(
@@ -131,7 +134,8 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
         worker=jobs.run_plan_job,
         make_args=lambda deps: (
             config, workload_name, scale, scheduler,
-            deps[golden_fp]["cycles"], samples, seed, structures),
+            deps[golden_fp]["cycles"], samples, seed, structures,
+            fault_model),
         expand=expand_plan,
     )
     return [golden_job, plan_job], cell_fp
@@ -146,7 +150,8 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
                  shard_size: int | None = None, workers: int = 1,
                  store: ResultStore | str | Path | None = None,
                  progress=None,
-                 stats: CampaignStats | None = None) -> CampaignResult:
+                 stats: CampaignStats | None = None,
+                 fault_model=None) -> CampaignResult:
     """Run (or resume) the full evaluation matrix on the job engine.
 
     ``store`` — a :class:`ResultStore` or a path to one — makes the
@@ -154,13 +159,18 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
     finished job, and identical re-invocations execute nothing.
     ``workers`` sizes the process pool (1 = inline/serial); cells and
     their FI shards are scheduled concurrently either way, and results
-    are identical for every setting.
+    are identical for every setting. ``fault_model`` (registry name or
+    :class:`~repro.faultmodels.FaultModel`; default transient) is part
+    of every plan/shard/cell fingerprint, so campaigns with different
+    models share golden runs but never collide on results.
     """
+    from repro.faultmodels.registry import fault_model_name
     gpus = gpus if gpus is not None else list_gpus()
     workloads = list(workloads) if workloads is not None else list(KERNEL_NAMES)
     scale = scale or default_scale()
     samples = samples if samples is not None else default_samples()
     shard_size = shard_size or DEFAULT_SHARD_SIZE
+    fault_model = fault_model_name(fault_model)
     own_store = isinstance(store, (str, Path))
     if own_store:
         store = ResultStore(store)
@@ -172,7 +182,7 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
         for name in workloads:
             roots, cell_id = _cell_jobs(
                 config, name, scale, samples, seed, scheduler, structures,
-                ace_mode, raw_fit_per_bit, shard_size, store)
+                ace_mode, raw_fit_per_bit, shard_size, store, fault_model)
             specs.extend(roots)
             cell_ids.append(cell_id)
 

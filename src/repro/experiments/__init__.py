@@ -3,11 +3,13 @@
 * :mod:`repro.experiments.fig1_regfile_avf` — Fig. 1 (register file AVF)
 * :mod:`repro.experiments.fig2_localmem_avf` — Fig. 2 (local memory AVF)
 * :mod:`repro.experiments.fig3_epf` — Fig. 3 (executions per failure)
+* :mod:`repro.experiments.fig_model_compare` — beyond the paper:
+  per-GPU AVF by fault model (transient / stuck_at / mbu)
 
-CLI: ``python -m repro.experiments <fig1|fig2|fig3|all> [options]`` or
-the installed ``repro-experiments`` entry point. Campaigns run on the
-job-graph execution engine (:mod:`repro.engine`); the most useful
-flags:
+CLI: ``python -m repro.experiments
+<fig1|fig2|fig3|model_compare|all> [options]`` or the installed
+``repro-experiments`` entry point. Campaigns run on the job-graph
+execution engine (:mod:`repro.engine`); the most useful flags:
 
 * ``--samples N`` / ``--scale tiny|small|default`` — campaign size
   (paper scale: 2000 samples, default inputs);
@@ -20,7 +22,9 @@ flags:
   invocations are incremental, and the three figures share golden
   runs;
 * ``--shard-size N`` — live fault plans per FI-shard job;
-* ``--seed`` / ``--out CSV`` — RNG seed and CSV export.
+* ``--seed`` / ``--out CSV`` — RNG seed and CSV export;
+* ``--fault-model MODEL`` — campaign fault model (``transient``,
+  ``stuck_at``, ``mbu``; ``--list-fault-models`` enumerates them).
 
 Each run ends with a campaign summary: jobs total / cached / executed.
 """
@@ -28,5 +32,6 @@ Each run ends with a campaign summary: jobs total / cached / executed.
 from repro.experiments.fig1_regfile_avf import run_fig1
 from repro.experiments.fig2_localmem_avf import run_fig2
 from repro.experiments.fig3_epf import run_fig3
+from repro.experiments.fig_model_compare import run_model_compare
 
-__all__ = ["run_fig1", "run_fig2", "run_fig3"]
+__all__ = ["run_fig1", "run_fig2", "run_fig3", "run_model_compare"]

@@ -21,7 +21,7 @@ def run_fig3(samples: int | None = None, scale: str | None = None,
              seed: int = 0, out_csv: str | None = None,
              progress=None, workers: int = 1, store=None,
              shard_size: int | None = None,
-             stats=None) -> tuple[list[CellResult], str]:
+             stats=None, fault_model=None) -> tuple[list[CellResult], str]:
     """Run the Fig. 3 campaign; returns (cells, formatted report)."""
     cells = run_matrix(
         gpus=gpus if gpus is not None else list_scaled_gpus(),
@@ -35,6 +35,7 @@ def run_fig3(samples: int | None = None, scale: str | None = None,
         store=store,
         shard_size=shard_size,
         stats=stats,
+        fault_model=fault_model,
     )
     report = format_epf_figure(cells)
     if out_csv:

@@ -1,0 +1,68 @@
+"""Fault-model comparison — per-GPU AVF by fault model.
+
+Beyond the paper: runs the same (GPU x benchmark) matrix once per
+registered fault model (transient single-bit flips, permanent stuck-at
+defects, adjacent multi-bit upsets) and tabulates the per-GPU average
+AVF-FI side by side, for both target structures. The follow-on
+literature (Guerrero-Balaguera et al. on permanent faults; Cui et al.
+on H100/A100 multi-bit errors) predicts stuck-at AVFs above and MBU
+AVFs near the transient baseline — this harness measures that on the
+paper's chips.
+
+All models share the golden runs (golden fingerprints ignore the fault
+model), so the marginal cost of each extra model is its plan + shard
+jobs only.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.faultmodels.registry import fault_model_name, list_fault_models
+from repro.kernels.registry import KERNEL_NAMES
+from repro.reliability.campaign import CellResult, run_matrix
+from repro.reliability.report import format_model_compare, write_cells_csv
+from repro.sim.faults import STRUCTURES
+
+
+def run_model_compare(samples: int | None = None, scale: str | None = None,
+                      gpus: list | None = None, workloads: list | None = None,
+                      seed: int = 0, out_csv: str | None = None,
+                      progress=None, workers: int = 1, store=None,
+                      shard_size: int | None = None, stats=None,
+                      fault_model=None,
+                      fault_models: list | None = None,
+                      ) -> tuple[list[CellResult], str]:
+    """Run the matrix once per fault model; returns (cells, report).
+
+    ``fault_models`` selects the model subset (default: every
+    registered model); ``fault_model`` — the shared single-model knob
+    the CLI passes to every harness — restricts the comparison to that
+    one model when given.
+    """
+    if fault_models is None:
+        fault_models = ([fault_model_name(fault_model)] if fault_model
+                        else list_fault_models())
+    cells_by_model: dict[str, list[CellResult]] = {}
+    all_cells: list[CellResult] = []
+    for name in fault_models:
+        cells = run_matrix(
+            gpus=gpus if gpus is not None else list_scaled_gpus(),
+            workloads=(workloads if workloads is not None
+                       else list(KERNEL_NAMES)),
+            scale=scale,
+            samples=samples,
+            seed=seed,
+            structures=STRUCTURES,
+            progress=progress,
+            workers=workers,
+            store=store,
+            shard_size=shard_size,
+            stats=stats,
+            fault_model=name,
+        )
+        cells_by_model[name] = cells
+        all_cells.extend(cells)
+    report = format_model_compare(cells_by_model)
+    if out_csv:
+        write_cells_csv(all_cells, out_csv)
+    return all_cells, report

@@ -7,12 +7,20 @@ killed campaign picks up where it left off and identical re-invocations
 execute nothing. A summary line (jobs total / cached / executed) is
 printed after each run.
 
+The fault model is a first-class campaign axis: ``--fault-model``
+selects transient bit flips (the paper's model, default), permanent
+stuck-at defects, or multi-bit upsets for any experiment, and the
+``model_compare`` experiment tabulates per-GPU AVF across all models.
+
 Examples::
 
     repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
     repro-experiments fig3 --gpus gtx480 hd7970 --workloads matrixMul kmeans
+    repro-experiments fig1 --fault-model stuck_at --samples 200
+    repro-experiments model_compare --workers 8 --resume results/store.jsonl
     repro-experiments all --workers 8 --resume results/store.jsonl
     repro-experiments --list-gpus
+    repro-experiments --list-fault-models
     python -m repro.experiments all --samples 100
 """
 
@@ -28,13 +36,19 @@ from repro.engine import CampaignStats, ResultStore
 from repro.experiments.fig1_regfile_avf import run_fig1
 from repro.experiments.fig2_localmem_avf import run_fig2
 from repro.experiments.fig3_epf import run_fig3
+from repro.experiments.fig_model_compare import run_model_compare
+from repro.faultmodels.registry import FAULT_MODELS, list_fault_models
 from repro.kernels.registry import KERNEL_NAMES, get_workload
 
 _EXPERIMENTS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
     "fig3": run_fig3,
+    "model_compare": run_model_compare,
 }
+
+#: ``all`` reproduces the paper's figures (model_compare is opt-in).
+_FIGURES = ("fig1", "fig2", "fig3")
 
 
 def _parse_args(argv):
@@ -53,6 +67,17 @@ def _parse_args(argv):
     parser.add_argument(
         "--list-workloads", action="store_true",
         help="list the benchmark suite and exit",
+    )
+    parser.add_argument(
+        "--list-fault-models", action="store_true",
+        help="list the registered fault models and exit",
+    )
+    parser.add_argument(
+        "--fault-model", choices=list_fault_models(), default=None,
+        metavar="MODEL",
+        help="fault model for the campaign: "
+             f"{', '.join(list_fault_models())} (default: transient, "
+             "the paper's single-bit-flip model)",
     )
     parser.add_argument(
         "--samples", type=int, default=None,
@@ -119,6 +144,12 @@ def _list_workloads() -> None:
         print(f"{name:<12} [{lmem}]  {workload.description}")
 
 
+def _list_fault_models() -> None:
+    for name, model in FAULT_MODELS.items():
+        kind = "permanent" if model.persistent else "transient"
+        print(f"{name:<10} [{kind}]  {model.description}")
+
+
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     if args.list_gpus:
@@ -127,15 +158,19 @@ def main(argv=None) -> int:
     if args.list_workloads:
         _list_workloads()
         return 0
+    if args.list_fault_models:
+        _list_fault_models()
+        return 0
     if args.experiment is None:
-        print("error: an experiment (fig1|fig2|fig3|all) is required "
-              "unless --list-gpus/--list-workloads is given",
+        print("error: an experiment "
+              f"({'|'.join(sorted(_EXPERIMENTS))}|all) is required unless "
+              "--list-gpus/--list-workloads/--list-fault-models is given",
               file=sys.stderr)
         return 2
     gpus = None
     if args.gpus is not None:
         gpus = [get_scaled_gpu(name) for name in args.gpus]
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    names = list(_FIGURES) if args.experiment == "all" else [args.experiment]
     store = ResultStore(args.resume) if args.resume else None
     try:
         for name in names:
@@ -156,6 +191,7 @@ def main(argv=None) -> int:
                 store=store,
                 shard_size=args.shard_size,
                 stats=stats,
+                fault_model=args.fault_model,
             )
             print(report)
             print()

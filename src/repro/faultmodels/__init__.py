@@ -1,0 +1,44 @@
+"""Pluggable fault models: transient bit flips, stuck-at defects, MBUs.
+
+The paper's comparison uses a single fault model — one transient bit
+flip per run — but the microarchitecture-level methodology generalizes
+directly to permanent and multi-bit faults. This package makes the
+fault model a first-class, pluggable axis of every campaign:
+
+* :class:`TransientBitFlip` (``transient``) — the paper's model and
+  the default; bit-identical to the pre-registry behaviour.
+* :class:`StuckAt` (``stuck_at``) — permanent stuck-at-0/1 defects,
+  re-applied by the storage layer on every write-back.
+* :class:`MultiBitUpset` (``mbu``) — adjacent 2-4 bit cluster flips.
+
+Campaigns select a model by name (``--fault-model`` on the CLI, the
+``fault_model=`` keyword in the library), and the model is part of the
+engine's job fingerprints so different models never collide in a
+result store.
+"""
+
+from repro.faultmodels.base import FaultModel
+from repro.faultmodels.mbu import MAX_WIDTH, MIN_WIDTH, MultiBitUpset
+from repro.faultmodels.registry import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    fault_model_name,
+    get_fault_model,
+    list_fault_models,
+)
+from repro.faultmodels.stuckat import StuckAt
+from repro.faultmodels.transient import TransientBitFlip
+
+__all__ = [
+    "DEFAULT_FAULT_MODEL",
+    "FAULT_MODELS",
+    "FaultModel",
+    "MAX_WIDTH",
+    "MIN_WIDTH",
+    "MultiBitUpset",
+    "StuckAt",
+    "TransientBitFlip",
+    "fault_model_name",
+    "get_fault_model",
+    "list_fault_models",
+]

@@ -1,0 +1,61 @@
+"""The :class:`FaultModel` abstraction.
+
+A fault model owns the three things that distinguish one fault type
+from another:
+
+* **sampling** — how fault sites are drawn over a storage structure x
+  the execution duration (``sample``);
+* **application** — what happens to the storage when a plan's cycle is
+  reached (``apply``): a one-shot XOR for upsets, a persistent
+  stuck-at overlay for permanent defects;
+* **liveness semantics** — whether a write-back kills the fault
+  (``persistent``): a transient flip is provably dead once the word is
+  overwritten before being read, while a stuck-at defect re-asserts
+  itself on every write-back and is only dead if the word is *never
+  read* from the fault cycle onward.
+
+Concrete models live next to this module and register themselves in
+:mod:`repro.faultmodels.registry`; everything downstream — the serial
+FI path, the job-graph engine, the CLI — looks them up by name, and
+the name is part of every plan/shard/cell fingerprint (except for the
+default ``transient`` model, whose fingerprints are kept identical to
+the single-bit-flip era so existing stores resume cleanly).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.sim.faults import FaultPlan
+
+
+class FaultModel(abc.ABC):
+    """Sampling, application and liveness semantics of one fault type."""
+
+    #: Registry key; appears in fingerprints, CLI flags and reports.
+    name: str = ""
+    #: One-line human description (``--list-fault-models``).
+    description: str = ""
+    #: Liveness semantics: True if write-backs never kill an activated
+    #: fault (the dead-site pruning must then treat writes as neutral).
+    persistent: bool = False
+
+    @abc.abstractmethod
+    def sample(self, config: GpuConfig, structure: str, total_cycles: int,
+               count: int, rng: np.random.Generator) -> list[FaultPlan]:
+        """Draw ``count`` fault plans uniformly over structure x time."""
+
+    @abc.abstractmethod
+    def apply(self, storage, plan: FaultPlan) -> None:
+        """Disturb ``storage`` (a RegisterFile or LocalMemory) per plan.
+
+        Called once, by the target core, the first time its clock
+        reaches ``plan.cycle``. Persistent models install overlays that
+        the storage layer re-applies on every later write-back.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultModel {self.name!r}>"

@@ -1,0 +1,50 @@
+"""Fault-model registry: name -> singleton, the CLI/engine lookup path.
+
+``DEFAULT_FAULT_MODEL`` (``transient``) is special: it reproduces the
+hard-coded single-bit-flip era bit for bit, and fingerprint builders
+omit it from job parameters so pre-registry stores keep resolving.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faultmodels.base import FaultModel
+from repro.faultmodels.mbu import MultiBitUpset
+from repro.faultmodels.stuckat import StuckAt
+from repro.faultmodels.transient import TransientBitFlip
+
+#: Name -> model singleton, in presentation order.
+FAULT_MODELS: dict[str, FaultModel] = {
+    model.name: model
+    for model in (TransientBitFlip(), StuckAt(), MultiBitUpset())
+}
+
+DEFAULT_FAULT_MODEL = "transient"
+
+
+def get_fault_model(model: str | FaultModel | None) -> FaultModel:
+    """Resolve a model by name (or pass an instance through).
+
+    ``None`` resolves to the default (transient) model.
+    """
+    if model is None:
+        model = DEFAULT_FAULT_MODEL
+    if isinstance(model, FaultModel):
+        return model
+    try:
+        return FAULT_MODELS[model]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault model {model!r}; "
+            f"known: {', '.join(FAULT_MODELS)}"
+        ) from None
+
+
+def fault_model_name(model: str | FaultModel | None) -> str:
+    """Canonical registry name of a model reference (validates it)."""
+    return get_fault_model(model).name
+
+
+def list_fault_models() -> list[str]:
+    """Registered model names in presentation order."""
+    return list(FAULT_MODELS)

@@ -1,0 +1,56 @@
+"""Permanent stuck-at-0/1 faults (Guerrero-Balaguera et al. direction).
+
+A stuck-at fault models a hardware defect, not a particle strike: from
+the fault cycle onward the target bit always reads as the stuck value,
+no matter how often the program overwrites the word. The storage layer
+enforces this with a persistent overlay re-applied on every write-back
+(:meth:`RegisterFile.force_bit` / :meth:`LocalMemory.force_bit`), and
+the dead-site pruning must treat the fault as potentially-live until
+the end of the run unless the word is never read after the fault cycle
+(``persistent = True``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.errors import ConfigError
+from repro.faultmodels.base import FaultModel
+from repro.sim.faults import FaultPlan, fault_from_flat, words_per_core
+
+
+class StuckAt(FaultModel):
+    """Permanent stuck-at-0/1 defect at a uniform (bit, cycle) site.
+
+    The stuck polarity is drawn uniformly per fault (half stuck-at-0,
+    half stuck-at-1), mirroring defect characterization practice. The
+    (bit, cycle) coordinate is drawn exactly like the transient model,
+    with one extra polarity draw per fault — deterministic per seed.
+    """
+
+    name = "stuck_at"
+    description = ("permanent stuck-at-0/1 from the fault cycle onward, "
+                   "re-applied on every write-back")
+    persistent = True
+
+    def sample(self, config: GpuConfig, structure: str, total_cycles: int,
+               count: int, rng: np.random.Generator) -> list[FaultPlan]:
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        total_bits = words_per_core(config, structure) * 32 * config.num_cores
+        bit_indices = rng.integers(0, total_bits, size=count)
+        cycles = rng.integers(0, total_cycles, size=count)
+        values = rng.integers(0, 2, size=count)
+        return [
+            dataclasses.replace(
+                fault_from_flat(config, structure, int(flat), int(cycle)),
+                stuck_value=int(value),
+            )
+            for flat, cycle, value in zip(bit_indices, cycles, values)
+        ]
+
+    def apply(self, storage, plan: FaultPlan) -> None:
+        storage.force_bit(plan.word, plan.bit, plan.stuck_value)

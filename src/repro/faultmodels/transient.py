@@ -1,0 +1,32 @@
+"""The paper's fault model: one transient single-bit flip per run."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import GpuConfig
+from repro.faultmodels.base import FaultModel
+from repro.sim.faults import FaultPlan, sample_faults
+
+
+class TransientBitFlip(FaultModel):
+    """Single soft-error bit flip at a uniform (bit, cycle) coordinate.
+
+    Bit-identical to the pre-registry hard-coded behaviour: sampling
+    delegates to :func:`repro.sim.faults.sample_faults` (same RNG
+    consumption order) and application is a one-shot XOR of the target
+    bit, so campaigns, fingerprints and stored results from the
+    single-model era are reproduced exactly.
+    """
+
+    name = "transient"
+    description = ("single-bit soft-error flip, uniform over (bit, cycle) "
+                   "[the paper's model]")
+    persistent = False
+
+    def sample(self, config: GpuConfig, structure: str, total_cycles: int,
+               count: int, rng: np.random.Generator) -> list[FaultPlan]:
+        return sample_faults(config, structure, total_cycles, count, rng)
+
+    def apply(self, storage, plan: FaultPlan) -> None:
+        storage.flip_bit(plan.word, plan.bit)

@@ -55,6 +55,7 @@ class CellResult:
     samples: int
     seed: int
     uses_local_memory: bool
+    fault_model: str = "transient"
 
     def avf_fi(self, structure: str) -> float:
         return self.fi[structure].avf if structure in self.fi else 0.0
@@ -70,6 +71,7 @@ class CellResult:
             "workload": self.workload,
             "scale": self.scale,
             "scheduler": self.scheduler,
+            "fault_model": self.fault_model,
             "cycles": self.cycles,
             "launches": self.num_launches,
             "samples": self.samples,
@@ -97,10 +99,13 @@ def run_cell(config: GpuConfig, workload_name: str,
              ace_mode: AceMode = AceMode.CONSERVATIVE,
              raw_fit_per_bit: float = RAW_FIT_PER_BIT,
              golden: GoldenRun | None = None,
-             workers: int = 1) -> CellResult:
+             workers: int = 1,
+             fault_model=None) -> CellResult:
     """Measure one (GPU, benchmark) cell end to end."""
+    from repro.faultmodels.registry import fault_model_name
     scale = scale or default_scale()
     samples = samples if samples is not None else default_samples()
+    model_name = fault_model_name(fault_model)
     workload = get_workload(workload_name, scale)
 
     if golden is None:
@@ -110,7 +115,7 @@ def run_cell(config: GpuConfig, workload_name: str,
     start = time.perf_counter()
     campaign = run_fi_campaign(
         config, workload, golden, samples=samples, seed=seed,
-        structures=structures, workers=workers,
+        structures=structures, workers=workers, fault_model=model_name,
     )
     fi_time = time.perf_counter() - start
 
@@ -137,6 +142,7 @@ def run_cell(config: GpuConfig, workload_name: str,
         samples=samples,
         seed=seed,
         uses_local_memory=workload.uses_local_memory,
+        fault_model=model_name,
     )
 
 
@@ -146,7 +152,7 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
                structures: tuple = STRUCTURES,
                progress=None, workers: int = 1,
                store=None, shard_size: int | None = None,
-               stats=None) -> list[CellResult]:
+               stats=None, fault_model=None) -> list[CellResult]:
     """Run the full (GPU x benchmark) matrix the figures are built from.
 
     Delegates to the job-graph engine (:mod:`repro.engine.matrix`):
@@ -154,15 +160,17 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
     ``store`` (a path or :class:`repro.engine.ResultStore`) makes the
     campaign resumable and incremental, and ``stats`` (a
     :class:`repro.engine.CampaignStats`) collects the jobs
-    total/cached/executed accounting. Results are bit-identical to the
-    serial per-cell loop for every setting.
+    total/cached/executed accounting. ``fault_model`` selects the
+    campaign's fault model (default transient; part of the job
+    fingerprints, so models never collide in a store). Results are
+    bit-identical to the serial per-cell loop for every setting.
     """
     from repro.engine.matrix import run_campaign
     result = run_campaign(
         gpus=gpus, workloads=workloads, scale=scale, samples=samples,
         seed=seed, scheduler=scheduler, structures=structures,
         shard_size=shard_size, workers=workers, store=store,
-        progress=progress, stats=stats,
+        progress=progress, stats=stats, fault_model=fault_model,
     )
     return result.cells
 

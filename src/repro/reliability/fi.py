@@ -4,15 +4,18 @@ Campaign flow per (GPU, benchmark, structure):
 
 1. One traced fault-free run (shared with ACE/occupancy analysis)
    fixes the cycle count and the golden outputs.
-2. ``samples`` (bit, cycle) faults are drawn uniformly over the
-   whole-chip structure x execution duration.
+2. ``samples`` fault sites are drawn by the campaign's *fault model*
+   (:mod:`repro.faultmodels`) uniformly over the whole-chip structure
+   x execution duration — transient single-bit flips by default,
+   stuck-at defects or multi-bit upsets on request.
 3. One more traced golden run resolves every sampled fault as
    provably-dead (classified MASKED without re-simulation) or
-   potentially-live.
-4. Every live fault is re-simulated to completion with the bit flip
-   applied at its cycle; the run is classified MASKED / SDC (bit-exact
-   output comparison against the golden outputs) / DUE (simulator
-   fault or watchdog hang).
+   potentially-live, honouring the model's liveness semantics
+   (stuck-at faults survive write-backs).
+4. Every live fault is re-simulated to completion with the model's
+   disturbance applied at its cycle; the run is classified MASKED /
+   SDC (bit-exact output comparison against the golden outputs) / DUE
+   (simulator fault or watchdog hang).
 
 ``AVF_FI = (SDC + DUE) / samples``.
 """
@@ -26,6 +29,7 @@ import numpy as np
 
 from repro.arch.config import GpuConfig
 from repro.errors import SimFault
+from repro.faultmodels.registry import get_fault_model
 from repro.kernels.workload import Workload, run_workload
 from repro.reliability.liveness import (
     AceAccumulator,
@@ -40,7 +44,7 @@ from repro.reliability.outcomes import (
     count_corrupted_words,
 )
 from repro.reliability.sampling import margin_of_error
-from repro.sim.faults import STRUCTURES, FaultPlan, sample_faults
+from repro.sim.faults import STRUCTURES, FaultPlan
 from repro.sim.gpu import Gpu, default_watchdog_for
 from repro.sim.tracing import CompositeSink
 
@@ -128,15 +132,16 @@ class CampaignOutput:
 
 def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
                     golden_outputs: dict, golden_cycles: int,
-                    scheduler: str) -> FaultResult:
+                    scheduler: str, fault_model=None) -> FaultResult:
     """Full faulty run for one live fault site.
 
     The single deterministic re-simulation primitive shared by the
     serial path, the per-cell process pool, and the campaign engine's
-    FI-shard jobs (:mod:`repro.engine.jobs`).
+    FI-shard jobs (:mod:`repro.engine.jobs`). ``fault_model`` selects
+    the disturbance semantics (default: transient single-bit flip).
     """
     gpu = Gpu(config, scheduler=scheduler)
-    gpu.set_faults([plan])
+    gpu.set_faults([plan], fault_model=fault_model)
     gpu.set_watchdog(default_watchdog_for(golden_cycles))
     try:
         result = run_workload(gpu, workload)
@@ -151,9 +156,10 @@ def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
 
 
 def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
-                golden: GoldenRun) -> FaultResult:
+                golden: GoldenRun, model_name: str) -> FaultResult:
     return resimulate_plan(config, workload, plan, golden.outputs,
-                           golden.cycles, golden.scheduler)
+                           golden.cycles, golden.scheduler,
+                           fault_model=model_name)
 
 
 def _resim_worker(args) -> tuple:
@@ -163,23 +169,24 @@ def _resim_worker(args) -> tuple:
     from the registry by (name, scale) — deterministic by construction.
     """
     (config, workload_name, scale, scheduler, golden_outputs,
-     golden_cycles, plan) = args
+     golden_cycles, plan, model_name) = args
     from repro.kernels.registry import get_workload
     workload = get_workload(workload_name, scale)
     result = resimulate_plan(config, workload, plan, golden_outputs,
-                             golden_cycles, scheduler)
+                             golden_cycles, scheduler,
+                             fault_model=model_name)
     return plan, result.outcome.value, result.detail, result.corrupted_words
 
 
 def _resimulate_batch(config: GpuConfig, workload: Workload,
                       plans: list, golden: GoldenRun,
-                      workers: int) -> dict:
+                      workers: int, model_name: str) -> dict:
     """Re-simulate live faults, optionally across processes.
 
     Returns plan -> FaultResult. Results are independent of ``workers``.
     """
     if workers <= 1 or len(plans) < 2:
-        return {plan: _resimulate(config, workload, plan, golden)
+        return {plan: _resimulate(config, workload, plan, golden, model_name)
                 for plan in plans}
     from repro.errors import ConfigError
     from repro.kernels.registry import KERNEL_NAMES
@@ -191,7 +198,7 @@ def _resimulate_batch(config: GpuConfig, workload: Workload,
     from concurrent.futures import ProcessPoolExecutor
     jobs = [
         (config, workload.name, workload.scale, golden.scheduler,
-         golden.outputs, golden.cycles, plan)
+         golden.outputs, golden.cycles, plan, model_name)
         for plan in plans
     ]
     results: dict = {}
@@ -209,32 +216,38 @@ def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
                     samples: int, seed: int = 0,
                     structures: tuple = STRUCTURES,
                     keep_results: bool = False,
-                    workers: int = 1) -> CampaignOutput:
+                    workers: int = 1,
+                    fault_model=None) -> CampaignOutput:
     """Run the statistical FI campaign for the given structures.
 
     ``workers > 1`` fans the fault re-simulations out over a process
     pool; results are bit-identical to the serial run (faults are
     independent and each re-simulation is deterministic).
+    ``fault_model`` (name or :class:`~repro.faultmodels.FaultModel`)
+    selects sampling/application/liveness semantics; the default
+    transient model reproduces the paper's campaign bit for bit.
     """
+    model = get_fault_model(fault_model)
     rng = np.random.default_rng(seed)
     plans_by_structure = {
-        structure: sample_faults(config, structure, golden.cycles, samples, rng)
+        structure: model.sample(config, structure, golden.cycles, samples, rng)
         for structure in structures
     }
     all_plans = [p for plans in plans_by_structure.values() for p in plans]
 
     # Pruning pass: one traced golden run resolving dead vs live sites.
-    resolver = FaultSiteResolver(config, all_plans)
+    resolver = FaultSiteResolver(config, all_plans, fault_model=model)
     gpu = Gpu(config, scheduler=golden.scheduler, sink=resolver)
     run_workload(gpu, workload)
 
     live_plans = sorted(
         {p for p in all_plans if resolver.is_live(p)},
-        key=lambda p: (p.structure, p.core, p.word, p.bit, p.cycle),
+        key=lambda p: (p.structure, p.core, p.word, p.bit, p.cycle,
+                       p.width, p.stuck_value),
     )
     resim_start = time.perf_counter()
     resim_results = _resimulate_batch(config, workload, live_plans, golden,
-                                      workers)
+                                      workers, model.name)
     resim_time = time.perf_counter() - resim_start
     total_live = max(1, len(live_plans))
 

@@ -19,7 +19,10 @@ stores the raw event stream, so memory stays O(structure size).
   masked* iff no read of that word occurs at cycle' >= cycle before the
   next write (or end of execution). Faults resolved LIVE must be fully
   re-simulated; the pruning changes no outcome, only analysis time
-  (GUFI does the same).
+  (GUFI does the same). The pruning is fault-model aware: for
+  *persistent* models (stuck-at defects re-applied on every
+  write-back) a write never kills the fault, so a site is only
+  provably dead if the word is never read at or after the fault cycle.
 
 * :class:`OccupancyAccumulator` — time-weighted fraction of each
   structure allocated to resident blocks (the red occupancy lines of
@@ -166,9 +169,14 @@ class FaultSiteResolver(TraceSink):
     LIVE = "live"
     DEAD = "dead"
 
-    def __init__(self, config: GpuConfig, plans: list[FaultPlan]):
+    def __init__(self, config: GpuConfig, plans: list[FaultPlan],
+                 fault_model=None):
+        from repro.faultmodels.registry import get_fault_model
         self.config = config
         self.warp_size = config.warp_size
+        # Persistent faults (stuck-at) survive write-backs: a write at
+        # cycle' >= cycle no longer proves the site dead.
+        self.persistent = get_fault_model(fault_model).persistent
         self._pending_reg: dict = {}   # (core,row) -> list[FaultPlan]
         self._pending_lmem: dict = {}  # (core,word) -> list[FaultPlan]
         self._lmem_index: dict = {}    # core -> sorted word array
@@ -193,6 +201,11 @@ class FaultSiteResolver(TraceSink):
                  lane_test) -> None:
         for plan in pending[:]:
             if plan.cycle > cycle or not lane_test(plan):
+                continue
+            if is_write and self.persistent:
+                # Stuck-at defects re-assert on write-back: the write
+                # neither kills nor proves the fault — keep waiting for
+                # a read (or end of run, which resolves it dead).
                 continue
             self.status[plan] = self.DEAD if is_write else self.LIVE
             pending.remove(plan)

@@ -131,6 +131,49 @@ def format_epf_figure(cells: list[CellResult], title: str = "Fig. 3 - Executions
     return "\n".join(lines)
 
 
+def format_model_compare(cells_by_model: dict) -> str:
+    """Per-GPU average AVF-FI by fault model, for both structures.
+
+    ``cells_by_model`` maps fault-model name -> the model's matrix
+    cells. Register-file averages span every benchmark; local-memory
+    averages span the local-memory subset (see :func:`average_cell`).
+    """
+    models = list(cells_by_model)
+    title = "Fault-model comparison - per-GPU average AVF-FI"
+    lines = [title, "=" * len(title), ""]
+    header = f"{'structure':<14} {'GPU':<16} " + " ".join(
+        f"{model:>10}" for model in models
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    any_cells = next(iter(cells_by_model.values()))
+    order = _gpu_order(any_cells)
+    for key in ("regfile", "localmem"):
+        for gpu in order:
+            values = []
+            for model in models:
+                mine = [c for c in cells_by_model[model]
+                        if _gpu_key(c.gpu) == gpu]
+                if not mine:
+                    values.append(float("nan"))
+                    continue
+                values.append(
+                    average_cell(mine, mine[0].gpu)[f"avf_fi_{key}"])
+            lines.append(
+                f"{key:<14} {gpu:<16} "
+                + " ".join(f"{v:10.4f}" for v in values)
+            )
+        lines.append("")
+    samples = {cell.samples for cells in cells_by_model.values()
+               for cell in cells}
+    if samples:
+        lines.append(
+            f"(n = {max(samples)} injections/structure per model; "
+            f"models: {', '.join(models)})"
+        )
+    return "\n".join(lines)
+
+
 def format_ace_vs_fi(cells: list[CellResult]) -> str:
     """The ACE-overestimation summary the paper highlights in prose."""
     lines = [

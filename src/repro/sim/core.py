@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.arch.config import GpuConfig
 from repro.errors import BarrierDeadlock, LaunchError, WatchdogTimeout
+from repro.faultmodels.registry import get_fault_model
 from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, FaultPlan
 from repro.sim.launch import LaunchConfig
 from repro.sim.memory import GlobalMemory
@@ -57,9 +58,11 @@ class CoreBase:
         )
         self.last_issued = -1
         self.watchdog_limit = DEFAULT_WATCHDOG
-        # Fault plans targeting this core, sorted by cycle; applied lazily.
+        # Fault plans targeting this core, sorted by cycle; applied
+        # lazily through the installed fault model.
         self._faults: list[FaultPlan] = []
         self._fault_pos = 0
+        self._fault_model = None
         # Per-launch state
         self.program = None
         self.launch: LaunchConfig | None = None
@@ -81,21 +84,27 @@ class CoreBase:
     # ------------------------------------------------------------------
     # Fault application
     # ------------------------------------------------------------------
-    def set_faults(self, plans: list[FaultPlan]) -> None:
-        """Install this core's fault plans (any order; sorted here)."""
+    def set_faults(self, plans: list[FaultPlan], fault_model=None) -> None:
+        """Install this core's fault plans (any order; sorted here).
+
+        ``fault_model`` — a :class:`repro.faultmodels.FaultModel` or
+        registry name — decides how each plan disturbs the storage when
+        its cycle is reached (default: transient single-bit flip).
+        """
         self._faults = sorted(
             (p for p in plans if p.core == self.core_id), key=lambda p: p.cycle
         )
         self._fault_pos = 0
+        self._fault_model = get_fault_model(fault_model)
 
     def _apply_faults_up_to(self, cycle: int) -> None:
         while (self._fault_pos < len(self._faults)
                and self._faults[self._fault_pos].cycle <= cycle):
             plan = self._faults[self._fault_pos]
             if plan.structure == REGISTER_FILE:
-                self.regfile.flip_bit(plan.word, plan.bit)
+                self._fault_model.apply(self.regfile, plan)
             elif plan.structure == LOCAL_MEMORY:
-                self.lmem.flip_bit(plan.word, plan.bit)
+                self._fault_model.apply(self.lmem, plan)
             self._fault_pos += 1
 
     # ------------------------------------------------------------------

@@ -1,10 +1,18 @@
-"""Fault plans: where and when a bit flips.
+"""Fault plans: where and when storage bits are disturbed.
 
-The fault model is the paper's: a single soft-error bit flip at a
-uniformly random (bit, cycle) coordinate over a whole-chip storage
-structure x the fault-free execution's duration. A plan pins one such
-coordinate; the simulator applies the flip to the target core's storage
-the first time that core's clock reaches the plan cycle.
+The paper's fault model is a single soft-error bit flip at a uniformly
+random (bit, cycle) coordinate over a whole-chip storage structure x
+the fault-free execution's duration. A :class:`FaultPlan` pins one such
+coordinate; the simulator applies the disturbance to the target core's
+storage the first time that core's clock reaches the plan cycle.
+
+The plan format generalizes beyond the paper's transient single-bit
+flip (see :mod:`repro.faultmodels`): ``width`` widens the disturbance
+to an adjacent bit cluster (multi-bit upsets), and ``stuck_value``
+turns it into a permanent stuck-at-0/1 defect that the storage layer
+re-applies on every subsequent write-back. The defaults (``width=1``,
+``stuck_value=-1``) encode exactly the paper's transient flip, so
+plans, samplers and stores from the single-bit-flip era are unchanged.
 """
 
 from __future__ import annotations
@@ -24,13 +32,15 @@ STRUCTURES = (REGISTER_FILE, LOCAL_MEMORY)
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """One scheduled bit flip."""
+    """One scheduled storage disturbance."""
 
     structure: str   # REGISTER_FILE | LOCAL_MEMORY
     core: int        # SM / CU index
     word: int        # word index within that core's structure
-    bit: int         # 0 (LSB) .. 31
-    cycle: int       # chip cycle at/after which the flip is applied
+    bit: int         # 0 (LSB) .. 31: the (lowest) disturbed bit
+    cycle: int       # chip cycle at/after which the fault is applied
+    width: int = 1   # adjacent bits disturbed (MBU clusters: 2..4)
+    stuck_value: int = -1  # -1 = flip; 0/1 = permanent stuck-at value
 
     def __post_init__(self):
         if self.structure not in STRUCTURES:
@@ -39,11 +49,37 @@ class FaultPlan:
             raise ConfigError(f"bit {self.bit} outside 0..31")
         if self.word < 0 or self.core < 0 or self.cycle < 0:
             raise ConfigError("fault coordinates must be non-negative")
+        if not 1 <= self.width <= 32:
+            raise ConfigError(f"cluster width {self.width} outside 1..32")
+        if self.bit + self.width > 32:
+            raise ConfigError(
+                f"cluster bits {self.bit}..{self.bit + self.width - 1} "
+                "cross the 32-bit word boundary"
+            )
+        if self.stuck_value not in (-1, 0, 1):
+            raise ConfigError(
+                f"stuck_value {self.stuck_value} not in (-1, 0, 1)"
+            )
 
     @property
-    def global_word(self) -> int:
-        """Word index within the whole-chip structure (core-major)."""
-        return self.word  # per-core index; combine with .core for chip coords
+    def is_persistent(self) -> bool:
+        """True for permanent (stuck-at) faults that survive write-back."""
+        return self.stuck_value >= 0
+
+    @property
+    def bit_mask(self) -> int:
+        """32-bit mask of the disturbed bit cluster."""
+        return ((1 << self.width) - 1) << self.bit
+
+    def global_word(self, config: GpuConfig) -> int:
+        """Word index within the whole-chip structure (core-major).
+
+        Core-major layout: core ``c``'s words occupy the contiguous
+        range ``c * words_per_core .. (c+1) * words_per_core - 1``, so
+        this is ``core * words_per_core + word`` — the inverse of
+        :func:`fault_from_flat`'s word arithmetic.
+        """
+        return self.core * words_per_core(config, self.structure) + self.word
 
 
 def words_per_core(config: GpuConfig, structure: str) -> int:
@@ -70,7 +106,7 @@ def fault_from_flat(config: GpuConfig, structure: str, bit_index: int,
 
 def sample_faults(config: GpuConfig, structure: str, total_cycles: int,
                   count: int, rng: np.random.Generator) -> list[FaultPlan]:
-    """Draw ``count`` uniform (bit, cycle) fault plans."""
+    """Draw ``count`` uniform (bit, cycle) single-bit-flip plans."""
     if total_cycles <= 0:
         raise ConfigError("total_cycles must be positive")
     per_core = words_per_core(config, structure)

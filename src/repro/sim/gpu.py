@@ -54,10 +54,15 @@ class Gpu:
             return SiCore
         raise ConfigError(f"no core model for ISA {config.isa!r}")
 
-    def set_faults(self, plans: list[FaultPlan]) -> None:
-        """Install fault plans (each routed to its target core)."""
+    def set_faults(self, plans: list[FaultPlan], fault_model=None) -> None:
+        """Install fault plans (each routed to its target core).
+
+        ``fault_model`` — a :class:`repro.faultmodels.FaultModel` or
+        registry name — selects the application/liveness semantics
+        (default: the paper's transient single-bit flip).
+        """
         for core in self.cores:
-            core.set_faults(plans)
+            core.set_faults(plans, fault_model=fault_model)
 
     def set_watchdog(self, limit_cycles: int) -> None:
         """Abort any core whose clock passes ``limit_cycles`` (DUE)."""

@@ -30,6 +30,9 @@ class RegisterFile:
         self.num_rows = num_words // warp_size
         self.data = np.zeros(num_words, dtype=np.uint32)
         self.sink = sink
+        # word -> (and_mask, or_mask): permanent stuck-at overlays,
+        # re-applied after every mutation (see _reapply_forced).
+        self._forced: dict[int, tuple[int, int]] = {}
 
     def read_row(self, row: int, mask: int, cycle: int) -> np.ndarray:
         """Read a full row (copy); traces the active-lane ``mask``."""
@@ -45,16 +48,49 @@ class RegisterFile:
         start = row * self.warp_size
         view = self.data[start: start + self.warp_size]
         np.copyto(view, values.astype(np.uint32, copy=False), where=lane_sel)
+        if self._forced:
+            self._reapply_forced()
         if self.sink is not None and mask:
             self.sink.on_reg_access(cycle, self.core_id, row, mask, True)
 
     def flip_bit(self, word: int, bit: int) -> None:
-        """Invert one stored bit (fault injection)."""
+        """Invert one stored bit (transient fault injection)."""
+        self.flip_bits(word, 1 << bit)
+
+    def flip_bits(self, word: int, mask: int) -> None:
+        """Invert a mask of stored bits in one word (multi-bit upsets)."""
         if not 0 <= word < self.num_words:
             raise ConfigError(f"register word {word} out of range")
-        self.data[word] ^= np.uint32(1 << bit)
+        self.data[word] ^= np.uint32(mask & 0xFFFFFFFF)
+
+    def force_bit(self, word: int, bit: int, value: int) -> None:
+        """Permanently stick one bit at ``value`` (0/1).
+
+        The overlay takes effect immediately and is re-applied after
+        every subsequent write-back to this register file, so the bit
+        reads as ``value`` for the rest of the run — a hardware defect,
+        not a one-shot upset.
+        """
+        if not 0 <= word < self.num_words:
+            raise ConfigError(f"register word {word} out of range")
+        and_mask, or_mask = self._forced.get(word, (0xFFFFFFFF, 0))
+        if value:
+            or_mask |= 1 << bit
+        else:
+            and_mask &= ~(1 << bit) & 0xFFFFFFFF
+        self._forced[word] = (and_mask, or_mask)
+        self._reapply_forced()
+
+    def _reapply_forced(self) -> None:
+        """Re-impose the stuck-at overlays (idempotent)."""
+        for word, (and_mask, or_mask) in self._forced.items():
+            self.data[word] = np.uint32(
+                (int(self.data[word]) & and_mask) | or_mask
+            )
 
     def clear_rows(self, first_row: int, count: int) -> None:
         """Zero rows on block allocation (fresh register state)."""
         start = first_row * self.warp_size
         self.data[start: start + count * self.warp_size] = 0
+        if self._forced:
+            self._reapply_forced()

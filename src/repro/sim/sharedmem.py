@@ -25,6 +25,9 @@ class LocalMemory:
         self.num_words = nbytes // 4
         self.data = np.zeros(self.num_words, dtype=np.uint32)
         self.sink = sink
+        # word -> (and_mask, or_mask): permanent stuck-at overlays,
+        # re-applied after every mutation (see _reapply_forced).
+        self._forced: dict[int, tuple[int, int]] = {}
 
     def _word_index(self, byte_addrs: np.ndarray) -> np.ndarray:
         addrs = np.asarray(byte_addrs, dtype=np.int64)
@@ -47,6 +50,8 @@ class LocalMemory:
         """Scatter words; duplicate addresses resolve highest-lane-wins."""
         index = self._word_index(byte_addrs)
         self.data[index] = values.astype(np.uint32, copy=False)
+        if self._forced:
+            self._reapply_forced()
         if self.sink is not None and index.size:
             self.sink.on_lmem_access(cycle, self.core_id, index, True)
 
@@ -62,17 +67,49 @@ class LocalMemory:
             self.data[index[lane]] = np.uint32(
                 (int(old[lane]) + int(values[lane])) & 0xFFFFFFFF
             )
+        if self._forced:
+            self._reapply_forced()
         if self.sink is not None and index.size:
             self.sink.on_lmem_access(cycle, self.core_id, index, True)
         return old
 
     def flip_bit(self, word: int, bit: int) -> None:
-        """Invert one stored bit (fault injection)."""
+        """Invert one stored bit (transient fault injection)."""
+        self.flip_bits(word, 1 << bit)
+
+    def flip_bits(self, word: int, mask: int) -> None:
+        """Invert a mask of stored bits in one word (multi-bit upsets)."""
         if not 0 <= word < self.num_words:
             raise ConfigError(f"local memory word {word} out of range")
-        self.data[word] ^= np.uint32(1 << bit)
+        self.data[word] ^= np.uint32(mask & 0xFFFFFFFF)
+
+    def force_bit(self, word: int, bit: int, value: int) -> None:
+        """Permanently stick one bit at ``value`` (0/1).
+
+        Takes effect immediately and is re-applied after every
+        subsequent write-back (stores, atomics, block-allocation
+        clears) — a hardware defect, not a one-shot upset.
+        """
+        if not 0 <= word < self.num_words:
+            raise ConfigError(f"local memory word {word} out of range")
+        and_mask, or_mask = self._forced.get(word, (0xFFFFFFFF, 0))
+        if value:
+            or_mask |= 1 << bit
+        else:
+            and_mask &= ~(1 << bit) & 0xFFFFFFFF
+        self._forced[word] = (and_mask, or_mask)
+        self._reapply_forced()
+
+    def _reapply_forced(self) -> None:
+        """Re-impose the stuck-at overlays (idempotent)."""
+        for word, (and_mask, or_mask) in self._forced.items():
+            self.data[word] = np.uint32(
+                (int(self.data[word]) & and_mask) | or_mask
+            )
 
     def clear_range(self, byte_offset: int, nbytes: int) -> None:
         """Zero a block's aperture at allocation."""
         start = byte_offset // 4
         self.data[start: start + nbytes // 4] = 0
+        if self._forced:
+            self._reapply_forced()
