@@ -1,0 +1,122 @@
+"""CKPT-SPEEDUP — injections/sec with and without checkpoint restore.
+
+Runs the same serial FI campaigns twice — re-simulating every live
+fault from cycle zero, then suffix-only from the golden run's machine
+snapshots (with the early-exit convergence check) — verifies the
+per-structure outcome counts are identical, and records the
+injections-per-second speedup. The smoke matrix uses two compact chips
+(one per ISA) whose occupancy keeps a healthy live-fault fraction at
+tiny scale.
+
+The CI gate (``scripts/check_bench.py``) requires the checkpointed
+path to deliver at least the ``min_speedup`` recorded in
+``extra_info`` (1.5x on the resimulation phase).
+
+Knobs: ``REPRO_FI_SAMPLES`` / ``REPRO_SCALE`` (see conftest).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_samples, bench_scale
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.kernels.registry import get_workload
+from repro.reliability.fi import run_fi_campaign, run_golden
+
+#: Speedup floor the CI gate enforces (resim phase, whole smoke matrix).
+MIN_SPEEDUP = 1.5
+
+_SMOKE_NVIDIA = GpuConfig(
+    name="Smoke NVIDIA", vendor="nvidia", isa="sass",
+    microarchitecture="smoke", num_cores=2, warp_size=32,
+    registers_per_core=8192, local_memory_bytes=8 * 1024,
+    max_threads_per_core=768, max_blocks_per_core=4,
+    max_warps_per_core=24, shader_clock_hz=1e9,
+    register_allocation_unit=32, local_allocation_unit=128,
+    num_schedulers=1, latency=LatencyModel(),
+)
+
+_SMOKE_AMD = GpuConfig(
+    name="Smoke AMD", vendor="amd", isa="si",
+    microarchitecture="smoke", num_cores=2, warp_size=64,
+    registers_per_core=4096, local_memory_bytes=8 * 1024,
+    max_threads_per_core=512, max_blocks_per_core=4,
+    max_warps_per_core=8, shader_clock_hz=1e9,
+    register_allocation_unit=64, local_allocation_unit=128,
+    num_schedulers=1, latency=LatencyModel(),
+)
+
+#: The smoke matrix: live-fault-rich cells covering both ISAs.
+CELLS = [
+    (_SMOKE_NVIDIA, "kmeans"),
+    (_SMOKE_NVIDIA, "matrixMul"),
+    (_SMOKE_AMD, "scan"),
+    (_SMOKE_AMD, "reduction"),
+]
+
+
+def _counts(campaign) -> list:
+    return [
+        (s, e.masked, e.sdc, e.due, e.pruned, e.resimulated)
+        for s, e in sorted(campaign.estimates.items())
+    ]
+
+
+def _resim_seconds(campaign) -> float:
+    return sum(e.wall_time_s for e in campaign.estimates.values())
+
+
+def test_checkpoint_speedup(benchmark):
+    # Default higher than the suite-wide 40: per-fault wall times are
+    # milliseconds, so a larger injection count keeps the speedup
+    # measurement out of the noise floor.
+    samples = bench_samples(default=120)
+    scale = bench_scale()
+
+    goldens = [
+        (config, get_workload(name, scale)) for config, name in CELLS
+    ]
+    baseline_s = 0.0
+    injections = 0
+    baseline_counts = []
+    plain = [run_golden(config, workload) for config, workload in goldens]
+    for (config, workload), golden in zip(goldens, plain):
+        campaign = run_fi_campaign(config, workload, golden,
+                                   samples=samples, seed=1)
+        baseline_s += _resim_seconds(campaign)
+        injections += sum(e.resimulated for e in campaign.estimates.values())
+        baseline_counts.append(_counts(campaign))
+
+    checkpointed = [
+        run_golden(config, workload, checkpoint_interval="auto")
+        for config, workload in goldens
+    ]
+
+    def checkpointed_matrix():
+        results = []
+        for (config, workload), golden in zip(goldens, checkpointed):
+            results.append(run_fi_campaign(config, workload, golden,
+                                           samples=samples, seed=1,
+                                           keep_results=True))
+        return results
+
+    campaigns = benchmark.pedantic(checkpointed_matrix, rounds=1,
+                                   iterations=1)
+    accelerated_s = sum(_resim_seconds(c) for c in campaigns)
+    assert [_counts(c) for c in campaigns] == baseline_counts
+
+    speedup = baseline_s / accelerated_s if accelerated_s else float("inf")
+    base_ips = injections / baseline_s if baseline_s else float("inf")
+    fast_ips = injections / accelerated_s if accelerated_s else float("inf")
+    early = sum(
+        1 for c in campaigns for r in c.results if r.early_exit
+    )
+    print(f"\nCheckpoint speedup ({len(CELLS)} cells, n={samples}, {scale}): "
+          f"{injections} injections, {base_ips:.1f} -> {fast_ips:.1f} inj/s "
+          f"(x{speedup:.2f}, early exits={early})")
+    benchmark.extra_info["baseline_s"] = round(baseline_s, 3)
+    benchmark.extra_info["accelerated_s"] = round(accelerated_s, 3)
+    benchmark.extra_info["min_speedup"] = MIN_SPEEDUP
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["injections"] = injections
+    benchmark.extra_info["injections_per_s"] = round(fast_ips, 2)
+    assert injections > 0, "smoke matrix drew no live faults"

@@ -1,12 +1,16 @@
 #!/usr/bin/env python
-"""Gate the bench-smoke CI job on the parallel-engine speedup.
+"""Gate the bench-smoke CI job on the engine's speedups.
 
-Reads a pytest-benchmark JSON export (``--benchmark-json``) produced by
-``benchmarks/bench_matrix_parallel.py``, prints one trend line per
-benchmark (the datapoints the bench trajectory is built from), and
-exits non-zero if the pooled matrix run was slower than the serial one
-— the engine's parallelism must never be a pessimisation, even at CI's
-tiny scale.
+Reads a pytest-benchmark JSON export (``--benchmark-json``), prints
+one trend line per benchmark (the datapoints the bench trajectory is
+built from), and exits non-zero when a speedup gate fails. Two gate
+shapes are understood, keyed by ``extra_info``:
+
+* ``serial_s`` / ``parallel_s`` — the process-pool matrix benchmark:
+  parallelism must never be a pessimisation (default floor 1.0);
+* ``baseline_s`` / ``accelerated_s`` — an optimisation benchmark (the
+  checkpoint suffix-only FI speedup): must beat the per-benchmark
+  ``min_speedup`` recorded alongside (1.5x for checkpointing).
 
 Usage::
 
@@ -31,23 +35,28 @@ def check(path: Path, min_speedup: float) -> int:
     for bench in benchmarks:
         info = bench.get("extra_info", {})
         name = bench.get("name", "?")
-        serial = info.get("serial_s")
-        parallel = info.get("parallel_s")
-        if serial is None or parallel is None:
-            # Not a serial-vs-parallel bench; report the mean and move on.
+        if "serial_s" in info and "parallel_s" in info:
+            slow, fast = info["serial_s"], info["parallel_s"]
+            floor = info.get("min_speedup", min_speedup)
+            label = f"workers=1 {slow:.2f}s  workers={info.get('workers', '?')}"
+        elif "baseline_s" in info and "accelerated_s" in info:
+            slow, fast = info["baseline_s"], info["accelerated_s"]
+            floor = info.get("min_speedup", min_speedup)
+            label = f"baseline {slow:.2f}s  accelerated"
+        else:
+            # Not a speedup bench; report the mean and move on.
             mean = bench.get("stats", {}).get("mean", float("nan"))
             print(f"{name}: mean {mean:.3f}s (no speedup gate)")
             continue
-        speedup = serial / parallel if parallel else float("inf")
-        workers = info.get("workers", "?")
-        verdict = "ok" if speedup >= min_speedup else "SLOWER THAN SERIAL"
-        print(f"{name}: workers=1 {serial:.2f}s  workers={workers} "
-              f"{parallel:.2f}s  speedup x{speedup:.2f}  [{verdict}]")
-        if speedup < min_speedup:
+        speedup = slow / fast if fast else float("inf")
+        verdict = "ok" if speedup >= floor else f"BELOW x{floor} GATE"
+        print(f"{name}: {label} {fast:.2f}s  speedup x{speedup:.2f}  "
+              f"[{verdict}]")
+        if speedup < floor:
             failures += 1
     if failures:
-        print(f"error: {failures} benchmark(s) below the x{min_speedup} "
-              "speedup gate", file=sys.stderr)
+        print(f"error: {failures} benchmark(s) below their speedup gate",
+              file=sys.stderr)
         return 1
     return 0
 

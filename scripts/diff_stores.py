@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Semantic diff of two campaign result stores (checkpoint parity gate).
+
+Checkpointed fault injection must be *bit-identical* to full
+re-simulation: a campaign run with ``--checkpoint-interval N`` and one
+run with ``--no-checkpoints`` must produce the same golden payloads,
+the same fault plans and pruning verdicts, the same per-fault outcome
+rows, and the same reduced cells. This script compares two JSONL
+stores record by record under exactly that contract:
+
+* golden / plan / shard records must match by fingerprint with
+  payloads equal after stripping wall-time fields (``wall_time_s`` and
+  ``*_time_s`` are machine-load measurements, not results);
+* cell records carry the checkpoint setting in their fingerprint by
+  design, so they are matched by campaign identity — (gpu, workload,
+  scale, scheduler, samples, seed, fault_model) — and compared on
+  every non-time field.
+
+Exit status 0 means the stores agree; 1 lists the differences.
+
+Usage::
+
+    python scripts/diff_stores.py ckpt-on.jsonl ckpt-off.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_TIME_SUFFIX = "_time_s"
+
+
+def strip_times(value):
+    """Recursively drop wall-time measurement fields."""
+    if isinstance(value, dict):
+        return {
+            key: strip_times(item)
+            for key, item in value.items()
+            if not key.endswith(_TIME_SUFFIX)
+        }
+    if isinstance(value, list):
+        return [strip_times(item) for item in value]
+    return value
+
+
+def load(path: Path) -> dict:
+    """fingerprint -> record, skipping torn trailing lines."""
+    records = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            records[record["fp"]] = record
+        except (json.JSONDecodeError, KeyError):
+            continue
+    return records
+
+
+def cell_key(payload: dict) -> tuple:
+    return (payload["gpu"], payload["workload"], payload["scale"],
+            payload["scheduler"], payload["samples"], payload["seed"],
+            payload.get("fault_model", "transient"))
+
+
+def diff(left_path: Path, right_path: Path) -> int:
+    left, right = load(left_path), load(right_path)
+    problems = []
+
+    def split(records):
+        sim = {fp: r for fp, r in records.items() if r["kind"] != "cell"}
+        cells = {cell_key(r["payload"]): r["payload"]
+                 for r in records.values() if r["kind"] == "cell"}
+        return sim, cells
+
+    left_sim, left_cells = split(left)
+    right_sim, right_cells = split(right)
+
+    for fp in sorted(set(left_sim) | set(right_sim)):
+        a, b = left_sim.get(fp), right_sim.get(fp)
+        if a is None or b is None:
+            missing = left_path.name if a is None else right_path.name
+            present = b if a is None else a
+            problems.append(
+                f"{present['kind']} {fp[:12]}… missing from {missing}")
+        elif strip_times(a["payload"]) != strip_times(b["payload"]):
+            problems.append(f"{a['kind']} {fp[:12]}… payloads differ")
+
+    for key in sorted(set(left_cells) | set(right_cells)):
+        a, b = left_cells.get(key), right_cells.get(key)
+        if a is None or b is None:
+            missing = left_path.name if a is None else right_path.name
+            problems.append(f"cell {key} missing from {missing}")
+        elif strip_times(a) != strip_times(b):
+            problems.append(f"cell {key} payloads differ")
+
+    counts = (f"{len(left_sim)} sim records + {len(left_cells)} cells vs "
+              f"{len(right_sim)} + {len(right_cells)}")
+    if problems:
+        print(f"stores DIFFER ({counts}):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"stores agree ({counts}; wall-time fields ignored)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("left", type=Path, help="first JSONL store")
+    parser.add_argument("right", type=Path, help="second JSONL store")
+    args = parser.parse_args(argv)
+    return diff(args.left, args.right)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

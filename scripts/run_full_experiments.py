@@ -60,6 +60,9 @@ def main() -> int:
         store=out / "store.jsonl",
         progress=progress,
         stats=stats,
+        # Suffix-only FI from golden-run snapshots (bit-identical; see
+        # README "Campaign acceleration").
+        checkpoint_interval="auto",
     )
     cells = result.cells
     print(stats.summary(), flush=True)

@@ -27,6 +27,11 @@ from repro.arch import (
     list_gpus,
     list_scaled_gpus,
 )
+from repro.checkpoint import (
+    CheckpointRecorder,
+    SnapshotSet,
+    capture_snapshots,
+)
 from repro.engine import (
     CampaignResult,
     CampaignStats,
@@ -104,6 +109,8 @@ __all__ = [
     "verify_against_reference",
     # campaign engine
     "run_campaign", "CampaignResult", "CampaignStats", "ResultStore",
+    # checkpointing
+    "CheckpointRecorder", "SnapshotSet", "capture_snapshots",
     # reliability
     "run_cell", "run_matrix", "run_golden", "run_fi_campaign",
     "CellResult", "AvfEstimate", "AceMode", "Outcome",

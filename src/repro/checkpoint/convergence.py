@@ -1,0 +1,97 @@
+"""Early-exit convergence check for transient-fault suffix runs.
+
+A live transient fault often stops mattering long before the program
+ends: the corrupted word is overwritten, or its consumers mask the
+upset logically, and from then on the faulty machine is bit-for-bit
+the golden machine. Running to completion just to compare outputs is
+wasted work — deterministic simulation from equal state provably
+produces the golden outputs and the golden cycle count.
+
+The :class:`ConvergenceMonitor` rides the faulty suffix run (the same
+observe-only monitor hook the golden capture uses) and, at every label
+the golden run recorded a digest for, compares the faulty machine's
+canonical state digest against the golden one. On a match it raises
+:class:`ConvergedToGolden`, which the FI engine catches and classifies
+MASKED immediately.
+
+Two guards make this sound:
+
+* the comparison is **armed only after every installed fault plan has
+  been applied** — before that the faulty run is still replaying the
+  shared fault-free prefix, whose digests trivially match;
+* digests cover the *full* machine state (including stuck-at overlay
+  tables and core clocks), so a persistent (stuck-at) fault — whose
+  overlay re-asserts forever — can never spuriously match; campaigns
+  skip the monitor entirely for persistent models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.checkpoint.digest import digest_machine
+
+
+class ConvergedToGolden(Exception):
+    """The faulty machine state equals the golden state at a label.
+
+    Control-flow signal, not an error: the FI engine maps it to an
+    immediate MASKED classification with the golden cycle count.
+    """
+
+    def __init__(self, label: tuple):
+        self.label = label
+        super().__init__(f"machine state converged to golden at {label!r}")
+
+
+class ConvergenceMonitor:
+    """Run monitor comparing faulty state digests against golden ones."""
+
+    def __init__(self, points: list):
+        """``points`` — golden capture points ahead of the restore point."""
+        self._interval = deque(
+            p for p in points if p.label[0] == "interval"
+        )
+        self._launch = {
+            p.label[1]: p for p in points if p.label[0] == "launch"
+        }
+        self._launch_index = 0
+        self._launch_cycles: list = []
+        #: Full digest comparisons performed (observability / tests).
+        self.checks = 0
+
+    def set_context(self, launch_index: int, launch_cycles: list) -> None:
+        """Seed the launch progress when resuming mid-workload."""
+        self._launch_index = launch_index
+        self._launch_cycles = list(launch_cycles)
+
+    # ------------------------------------------------------------------
+    # Run-monitor hooks
+    # ------------------------------------------------------------------
+    def begin_launch(self, gpu, index: int, launch_cycles: list) -> None:
+        self.set_context(index, launch_cycles)
+        point = self._launch.get(index)
+        if point is not None:
+            self._compare(gpu, point)
+
+    def after_step(self, gpu) -> None:
+        if not self._interval:
+            return
+        cur = max(core.time for core in gpu.cores)
+        while self._interval and self._interval[0].label[1] <= cur:
+            self._compare(gpu, self._interval.popleft())
+
+    # ------------------------------------------------------------------
+    def _compare(self, gpu, point) -> None:
+        if any(core.pending_faults for core in gpu.cores):
+            return  # still on the shared fault-free prefix
+        # Cheap pre-filter: full-state equality implies equal per-core
+        # clocks, so a timing-diverged run (the usual SDC/DUE fate)
+        # skips the digest entirely at O(cores) cost.
+        if tuple(int(core.time) for core in gpu.cores) != point.core_times:
+            return
+        self.checks += 1
+        mine = digest_machine(self._launch_index, self._launch_cycles,
+                              gpu.snapshot_state(copy=False))
+        if mine == point.digest:
+            raise ConvergedToGolden(point.label)

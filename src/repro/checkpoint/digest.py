@@ -1,0 +1,110 @@
+"""Canonical architectural-state digests.
+
+The early-exit convergence check (:mod:`repro.checkpoint.convergence`)
+classifies a transient injection MASKED the moment the faulty machine
+state becomes indistinguishable from the golden one: from equal full
+machine state, deterministic simulation evolves identically, so the
+outputs and the final cycle count are provably those of the golden run.
+
+"Equal" is decided by a SHA-256 digest over a canonical encoding of the
+plain-data machine image :meth:`repro.sim.gpu.Gpu.snapshot_state`
+produces (plus the workload-level launch progress). The encoding is
+explicit — type-tagged ints/strs/bools/arrays, sorted dict keys — so it
+is stable across processes, unlike pickle's identity-sensitive stream.
+
+Per-core ``instructions_issued`` is excluded: a faulty run that took a
+different control-flow path and then re-converged may have executed a
+different number of instructions, and the counter influences nothing
+downstream of the convergence point.
+
+Dead storage is canonicalised to zero before hashing, guided by the
+``live_reg``/``live_lmem`` hints each core image carries: register and
+local-memory words outside every resident block's allocation are
+cleared at the next block allocation before any access, so corruption
+orphaned there (the typical fate of a masked live fault once its block
+retires) cannot influence the future and must not block convergence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: State keys that never influence future evolution or reported results.
+_SKIP_KEYS = frozenset({"instructions_issued"})
+
+
+def _update(h, obj) -> None:
+    """Feed one plain-data value into the hash, type-tagged."""
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(b"\x00b1" if obj else b"\x00b0")
+    elif isinstance(obj, (int, np.integer)):
+        h.update(b"\x00i")
+        h.update(str(int(obj)).encode())
+    elif isinstance(obj, str):
+        h.update(b"\x00s")
+        h.update(obj.encode())
+    elif isinstance(obj, np.ndarray):
+        h.update(b"\x00a")
+        h.update(str(obj.dtype).encode())
+        h.update(str(obj.shape).encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"\x00l")
+        h.update(str(len(obj)).encode())
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, dict):
+        h.update(b"\x00d")
+        for key in sorted(obj, key=repr):
+            if key in _SKIP_KEYS:
+                continue
+            h.update(b"\x00k")
+            h.update(repr(key).encode())
+            _update(h, obj[key])
+    else:
+        raise TypeError(f"cannot canonically hash {type(obj).__name__}")
+
+
+def _masked_storage(storage: dict, live_ranges: list) -> dict:
+    """Canonical storage form: the live slices only, with their ranges.
+
+    Equivalent to zeroing everything outside the ranges, but hashes
+    O(live words) instead of copying the whole array. Overlapping
+    ranges cannot occur (block allocations are disjoint), so the
+    (range, slice) list determines the zero-filled image uniquely.
+    """
+    data = storage["data"]
+    return {
+        "forced": storage["forced"],
+        "live": [
+            (start, nwords, data[start:start + nwords])
+            for start, nwords in live_ranges
+        ],
+    }
+
+
+def _canonical_core(core_state: dict) -> dict:
+    canonical = dict(core_state)
+    live_reg = canonical.pop("live_reg", None)
+    live_lmem = canonical.pop("live_lmem", None)
+    if live_reg is not None:
+        canonical["regfile"] = _masked_storage(core_state["regfile"], live_reg)
+    if live_lmem is not None:
+        canonical["lmem"] = _masked_storage(core_state["lmem"], live_lmem)
+    return canonical
+
+
+def digest_machine(launch_index: int, launch_cycles: list,
+                   state: dict) -> str:
+    """SHA-256 hex digest of one machine image + launch progress."""
+    state = dict(state)
+    state["cores"] = [_canonical_core(c) for c in state["cores"]]
+    h = hashlib.sha256()
+    _update(h, int(launch_index))
+    _update(h, [int(c) for c in launch_cycles])
+    _update(h, state)
+    return h.hexdigest()

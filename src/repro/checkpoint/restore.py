@@ -1,0 +1,103 @@
+"""Restore a snapshot into a fresh machine and run the suffix.
+
+The restore side of the checkpoint protocol: rebuild a chip from a
+:class:`~repro.checkpoint.snapshot.MachineSnapshot`, re-install the
+fault plan and watchdog on it, and drive the remainder of the workload
+— the still-draining launch first (the dispatcher state is part of the
+snapshot), then every launch after it. The resulting
+:class:`~repro.kernels.workload.RunResult` is bit-identical (outputs,
+total cycles, per-launch cycles) to simulating the whole workload from
+cycle zero, because the snapshot is a frozen prefix of the very event
+sequence the from-scratch run would execute.
+
+Launch configurations and programs are not stored in snapshots; they
+are rebuilt deterministically from the workload and the snapshotted
+buffer bases, which keeps snapshots plain-data and cheap to ship
+across processes.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.convergence import ConvergenceMonitor
+from repro.checkpoint.snapshot import SnapshotPoint, SnapshotSet
+from repro.kernels.workload import RunResult, Workload, run_workload
+from repro.sim.gpu import Gpu
+
+
+def restore_machine(config, workload: Workload, point: SnapshotPoint,
+                    scheduler: str = "rr", sink=None):
+    """Rebuild a chip from one capture point; returns (gpu, launches).
+
+    ``sink`` (optional) becomes the restored machine's trace sink: it
+    observes exactly the suffix of the event stream an un-checkpointed
+    run emits from this point on.
+    """
+    snapshot = point.snapshot
+    gpu = Gpu(config, scheduler=scheduler, sink=sink)
+    bases = {name: base for name, base, _ in snapshot.state["mem"]["buffers"]}
+    launches = list(workload.make_launches(config.isa, bases))
+    active = snapshot.state["active"]
+    launch = launches[snapshot.launch_index] if active is not None else None
+    gpu.restore_state(snapshot.state, launch=launch)
+    return gpu, launches
+
+
+def resume_workload(gpu: Gpu, workload: Workload, launches: list,
+                    snapshot, monitor=None) -> RunResult:
+    """Run a restored machine to completion; mirrors ``run_workload``."""
+    launch_cycles = list(snapshot.launch_cycles)
+    index = snapshot.launch_index
+    if gpu.mid_launch:
+        launch_cycles.append(gpu.resume_launch(monitor))
+        index += 1
+    for i in range(index, len(launches)):
+        if monitor is not None:
+            monitor.begin_launch(gpu, i, launch_cycles)
+        launch_cycles.append(gpu.launch(launches[i], monitor=monitor))
+    cycles = gpu.finish()
+    outputs = gpu.mem.snapshot(workload.output_buffers)
+    return RunResult(
+        workload=workload.name,
+        gpu=gpu.config.name,
+        cycles=cycles,
+        launch_cycles=launch_cycles,
+        outputs=outputs,
+    )
+
+
+def run_faulty_from_checkpoints(config, workload: Workload, plan,
+                                scheduler: str, watchdog: int,
+                                snapshots: SnapshotSet,
+                                fault_model=None) -> RunResult:
+    """One faulty run, suffix-only when a usable snapshot exists.
+
+    Restores the latest golden snapshot whose target-core clock is
+    still before the fault cycle, installs the plan + watchdog, and
+    simulates only the suffix. Transient-class models additionally get
+    the early-exit convergence monitor; the call then either returns a
+    completed :class:`RunResult`, raises a
+    :class:`~repro.errors.SimFault` (DUE), or raises
+    :class:`~repro.checkpoint.convergence.ConvergedToGolden` (MASKED
+    with the golden cycle count).
+    """
+    # Imported here: the fault-model registry reaches back into the
+    # sim layer, which would otherwise cycle at package-import time.
+    from repro.faultmodels.registry import get_fault_model
+    model = get_fault_model(fault_model)
+    pos, point = snapshots.restore_point_for(plan.core, plan.cycle)
+    monitor = None
+    if not model.persistent:
+        monitor = ConvergenceMonitor(snapshots.points_after(pos))
+    if point is None:
+        gpu = Gpu(config, scheduler=scheduler)
+        gpu.set_faults([plan], fault_model=model)
+        gpu.set_watchdog(watchdog)
+        return run_workload(gpu, workload, monitor=monitor)
+    gpu, launches = restore_machine(config, workload, point, scheduler)
+    gpu.set_faults([plan], fault_model=model)
+    gpu.set_watchdog(watchdog)
+    if monitor is not None:
+        monitor.set_context(point.snapshot.launch_index,
+                            point.snapshot.launch_cycles)
+    return resume_workload(gpu, workload, launches, point.snapshot,
+                           monitor=monitor)

@@ -81,11 +81,23 @@ def shard_params(plan_fp: str, start: int, stop: int) -> dict:
     return {"plan": plan_fp, "start": start, "stop": stop}
 
 
-def cell_params(plan_fp: str, raw_fit_per_bit: float) -> dict:
+def cell_params(plan_fp: str, raw_fit_per_bit: float,
+                checkpoint=None) -> dict:
     """Parameters of one reduced (GPU, benchmark) cell.
 
     Shard geometry is deliberately absent: the reduced cell is
     independent of how the live plans were sharded, so changing the
     shard size never invalidates finished cells.
+
+    ``checkpoint`` — the campaign's checkpoint interval ("auto" or a
+    cycle count) — joins the identity only when checkpointing is on;
+    disabled campaigns keep the pre-checkpoint fingerprints, so old
+    stores resume unchanged. Golden/plan/shard fingerprints never
+    carry it: their payloads are bit-identical either way, so a
+    checkpointed resume of an un-checkpointed store reuses every
+    simulation job and re-reduces only the (driver-side, cheap) cells.
     """
-    return {"plan": plan_fp, "raw_fit_per_bit": raw_fit_per_bit}
+    params = {"plan": plan_fp, "raw_fit_per_bit": raw_fit_per_bit}
+    if checkpoint is not None:
+        params["checkpoint"] = checkpoint
+    return params

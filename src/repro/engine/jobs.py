@@ -80,12 +80,22 @@ def run_golden_job(args: tuple) -> dict:
 
     ACE AVFs and occupancies are recorded for *all* structures so one
     golden payload serves campaigns targeting any structure subset.
+
+    With a checkpoint interval (the optional sixth element), the run
+    additionally captures machine snapshots, attached under the
+    ephemeral ``_snapshots`` key: FI shard jobs of the same cell
+    receive them with the golden payload and run suffix-only. The
+    persisted payload is unchanged — the store strips ephemeral keys —
+    so golden fingerprints stay interval-independent and old stores
+    keep resolving.
     """
-    config, workload_name, scale, scheduler, ace_mode_value = args
+    config, workload_name, scale, scheduler, ace_mode_value = args[:5]
+    checkpoint_interval = args[5] if len(args) > 5 else None
     workload = get_workload(workload_name, scale)
     golden = run_golden(config, workload, scheduler=scheduler,
-                        ace_mode=AceMode(ace_mode_value))
-    return {
+                        ace_mode=AceMode(ace_mode_value),
+                        checkpoint_interval=checkpoint_interval)
+    payload = {
         "cycles": golden.cycles,
         "launch_cycles": [int(c) for c in golden.launch_cycles],
         "ace": {s: golden.ace.avf(s) for s in STRUCTURES},
@@ -93,6 +103,9 @@ def run_golden_job(args: tuple) -> dict:
         "wall_time_s": golden.wall_time_s,
         "outputs": encode_outputs(golden.outputs),
     }
+    if golden.snapshots is not None:
+        payload["_snapshots"] = golden.snapshots
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -198,23 +211,54 @@ def _decoded_outputs_for(golden_fp: str, outputs_encoded: dict) -> dict:
     return outputs
 
 
+def _snapshots_for(golden_fp: str, checkpoint_interval, snapshots,
+                   config, workload, scheduler: str):
+    """This shard's snapshot set: shipped inline, rebuilt when pooled.
+
+    Inline campaigns pass the golden job's set by reference; pooled
+    shard jobs (and store resumes, where snapshots were stripped as
+    ephemeral) get None and re-derive the set once per worker process
+    through the shared :func:`repro.checkpoint.cached_snapshots`
+    cache, keyed by the golden fingerprint.
+    """
+    if checkpoint_interval is None:
+        return None
+    if snapshots is not None:
+        return snapshots
+    from repro.checkpoint import cached_snapshots
+    return cached_snapshots(("golden-fp", golden_fp, checkpoint_interval),
+                            config, workload, scheduler,
+                            checkpoint_interval)
+
+
 def run_shard_job(args: tuple) -> dict:
-    """Worker: fully re-simulate one slice of live fault plans.
+    """Worker: re-simulate one slice of live fault plans.
 
     Result rows are ``[*plan_key, outcome, detail, corrupted]`` — the
     same 8-element flat rows as the single-model era for default plan
     keys, with the key's width/stuck suffix inlined for extended ones.
+
+    The two optional trailing args (snapshots, checkpoint_interval)
+    switch the re-simulations to suffix-only restore with early-exit
+    convergence; rows are bit-identical either way, so shard
+    fingerprints — and parity between checkpointed and un-checkpointed
+    stores — are unaffected.
     """
     (config, workload_name, scale, scheduler, cycles, golden_fp,
-     outputs_encoded, plan_keys, fault_model) = args
+     outputs_encoded, plan_keys, fault_model) = args[:9]
+    snapshots = args[9] if len(args) > 9 else None
+    checkpoint_interval = args[10] if len(args) > 10 else None
     outputs = _decoded_outputs_for(golden_fp, outputs_encoded)
     workload = get_workload(workload_name, scale)
     start = time.perf_counter()
+    snapshots = _snapshots_for(golden_fp, checkpoint_interval, snapshots,
+                               config, workload, scheduler)
     results = []
     for key in plan_keys:
         plan = plan_from_key(tuple(key))
         result = resimulate_plan(config, workload, plan, outputs, cycles,
-                                 scheduler, fault_model=fault_model)
+                                 scheduler, fault_model=fault_model,
+                                 snapshots=snapshots)
         results.append([
             *key, result.outcome.value, result.detail, result.corrupted_words,
         ])

@@ -52,8 +52,19 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                samples: int, seed: int, scheduler: str, structures: tuple,
                ace_mode: AceMode, raw_fit_per_bit: float, shard_size: int,
                store: ResultStore | None,
-               fault_model: str) -> tuple[list[JobSpec], str]:
-    """Job chain for one cell; returns (root jobs, cell job id)."""
+               fault_model: str,
+               checkpoint_interval=None,
+               inline: bool = True) -> tuple[list[JobSpec], str]:
+    """Job chain for one cell; returns (root jobs, cell job id).
+
+    ``inline`` — True when the campaign runs without a process pool.
+    Snapshot handling depends on it: inline, the golden job captures
+    snapshots and the cell's shards consume them by reference (zero
+    copies); pooled, golden jobs skip capture and each shard worker
+    rebuilds the set once per process (a full-scale SnapshotSet
+    pickles to tens of MB — shipping it per shard submission would
+    cost more than the suffix-only speedup buys).
+    """
     golden_fp = fingerprint(
         jobs.GOLDEN,
         golden_params(config, workload_name, scale, scheduler, ace_mode),
@@ -61,8 +72,10 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
     plan_fp = fingerprint(
         jobs.PLAN,
         plan_params(golden_fp, samples, seed, structures, fault_model))
-    cell_fp = fingerprint(jobs.CELL,
-                          cell_params(plan_fp, raw_fit_per_bit))
+    cell_fp = fingerprint(
+        jobs.CELL,
+        cell_params(plan_fp, raw_fit_per_bit,
+                    checkpoint=checkpoint_interval))
     if store is not None and cell_fp in store:
         # Finished cell: short-circuit the whole chain (cell
         # fingerprints ignore shard geometry, so even a different
@@ -92,21 +105,36 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                 fingerprint=shard_fp,
                 deps=(golden_fp,),
                 worker=jobs.run_shard_job,
+                # Inline, snapshots ride along from the golden payload
+                # by reference. They are ephemeral: a golden loaded
+                # from a store (or produced by a pooled golden job)
+                # has none, and the shard worker then rebuilds the set
+                # once per process; a memory-cached golden may carry a
+                # set captured at another interval — any set is
+                # correct, it only changes wall time.
                 make_args=lambda deps, chunk=chunk: (
                     config, workload_name, scale, scheduler,
                     deps[golden_fp]["cycles"], golden_fp,
                     deps[golden_fp]["outputs"], chunk, fault_model,
+                    deps[golden_fp].get("_snapshots")
+                    if checkpoint_interval is not None and inline else None,
+                    checkpoint_interval,
                 ),
             ))
 
         def reduce_cell(deps: dict) -> dict:
-            return jobs.reduce_cell_job(
+            payload = jobs.reduce_cell_job(
                 config, workload_name, scale, scheduler, samples, seed,
                 structures, raw_fit_per_bit, uses_local_memory,
                 deps[golden_fp], deps[plan_fp],
                 [deps[shard_id] for shard_id in shard_ids],
                 fault_model=fault_model,
             )
+            # The cell is the last consumer of this golden's snapshots
+            # within the campaign: free them so driver memory stays
+            # bounded by the cells in flight, not the whole matrix.
+            deps[golden_fp].pop("_snapshots", None)
+            return payload
 
         specs.append(JobSpec(
             job_id=cell_fp,
@@ -122,8 +150,11 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
         kind=jobs.GOLDEN,
         fingerprint=golden_fp,
         worker=jobs.run_golden_job,
+        # Pooled golden jobs skip capture: their payload would haul
+        # the snapshots back through a pickle the shards never read.
         make_args=lambda deps: (
-            config, workload_name, scale, scheduler, ace_mode.value),
+            config, workload_name, scale, scheduler, ace_mode.value,
+            checkpoint_interval if inline else None),
         cache_in_memory=True,
     )
     plan_job = JobSpec(
@@ -151,7 +182,8 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
                  store: ResultStore | str | Path | None = None,
                  progress=None,
                  stats: CampaignStats | None = None,
-                 fault_model=None) -> CampaignResult:
+                 fault_model=None,
+                 checkpoint_interval=None) -> CampaignResult:
     """Run (or resume) the full evaluation matrix on the job engine.
 
     ``store`` — a :class:`ResultStore` or a path to one — makes the
@@ -163,6 +195,15 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
     :class:`~repro.faultmodels.FaultModel`; default transient) is part
     of every plan/shard/cell fingerprint, so campaigns with different
     models share golden runs but never collide on results.
+
+    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) makes
+    golden jobs capture machine snapshots that the cell's FI shards
+    restore, simulating only each fault's suffix with the early-exit
+    convergence check (:mod:`repro.checkpoint`). Golden/plan/shard
+    results are bit-identical with or without it; the interval joins
+    only the *cell* fingerprint (omitted when off), so pre-checkpoint
+    stores still resume and a checkpointed resume of one reuses every
+    simulation job.
     """
     from repro.faultmodels.registry import fault_model_name
     gpus = gpus if gpus is not None else list_gpus()
@@ -171,6 +212,9 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
     samples = samples if samples is not None else default_samples()
     shard_size = shard_size or DEFAULT_SHARD_SIZE
     fault_model = fault_model_name(fault_model)
+    if checkpoint_interval is not None:
+        from repro.checkpoint import resolve_interval
+        resolve_interval(checkpoint_interval)  # validate early
     own_store = isinstance(store, (str, Path))
     if own_store:
         store = ResultStore(store)
@@ -182,7 +226,9 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
         for name in workloads:
             roots, cell_id = _cell_jobs(
                 config, name, scale, samples, seed, scheduler, structures,
-                ace_mode, raw_fit_per_bit, shard_size, store, fault_model)
+                ace_mode, raw_fit_per_bit, shard_size, store, fault_model,
+                checkpoint_interval=checkpoint_interval,
+                inline=workers <= 1)
             specs.extend(roots)
             cell_ids.append(cell_id)
 

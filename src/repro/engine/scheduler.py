@@ -47,7 +47,13 @@ def _memory_cache_put(fp: str, payload: dict) -> None:
     _MEMORY_CACHE.pop(fp, None)
     while len(_MEMORY_CACHE) >= _MEMORY_CACHE_MAX:
         _MEMORY_CACHE.pop(next(iter(_MEMORY_CACHE)))
-    _MEMORY_CACHE[fp] = payload
+    # Like the persistent store, the cache holds the fingerprinted
+    # result only: ephemeral ``_``-keys (golden machine snapshots,
+    # tens of MB each at full scale) live exactly as long as the
+    # campaign that produced them.
+    _MEMORY_CACHE[fp] = {
+        k: v for k, v in payload.items() if not k.startswith("_")
+    }
 
 
 def clear_memory_cache() -> None:

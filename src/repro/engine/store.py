@@ -78,9 +78,17 @@ class ResultStore:
         return record["kind"] if record is not None else None
 
     def put(self, fp: str, kind: str, payload: dict) -> None:
-        """Record one finished job (idempotent per fingerprint)."""
+        """Record one finished job (idempotent per fingerprint).
+
+        Payload keys starting with ``_`` are *ephemeral* — in-process
+        extras (e.g. the golden job's machine snapshots) that are
+        neither JSON-safe nor part of the job's fingerprinted result —
+        and are stripped before recording. Consumers must treat them
+        as optional: a payload loaded from a store never has them.
+        """
         if fp in self._records:
             return
+        payload = {k: v for k, v in payload.items() if not k.startswith("_")}
         record = {"fp": fp, "kind": kind, "payload": payload}
         self._records[fp] = record
         self._append(record)

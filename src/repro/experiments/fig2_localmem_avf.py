@@ -29,7 +29,8 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
              seed: int = 0, out_csv: str | None = None,
              progress=None, workers: int = 1, store=None,
              shard_size: int | None = None,
-             stats=None, fault_model=None) -> tuple[list[CellResult], str]:
+             stats=None, fault_model=None,
+             checkpoint_interval=None) -> tuple[list[CellResult], str]:
     """Run the Fig. 2 campaign; returns (cells, formatted report)."""
     if workloads is None:
         workloads = local_memory_workloads(scale or "small")
@@ -46,6 +47,7 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
         shard_size=shard_size,
         stats=stats,
         fault_model=fault_model,
+        checkpoint_interval=checkpoint_interval,
     )
     report = format_avf_figure(
         cells, LOCAL_MEMORY,

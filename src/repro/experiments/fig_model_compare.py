@@ -31,6 +31,7 @@ def run_model_compare(samples: int | None = None, scale: str | None = None,
                       shard_size: int | None = None, stats=None,
                       fault_model=None,
                       fault_models: list | None = None,
+                      checkpoint_interval=None,
                       ) -> tuple[list[CellResult], str]:
     """Run the matrix once per fault model; returns (cells, report).
 
@@ -59,6 +60,7 @@ def run_model_compare(samples: int | None = None, scale: str | None = None,
             shard_size=shard_size,
             stats=stats,
             fault_model=name,
+            checkpoint_interval=checkpoint_interval,
         )
         cells_by_model[name] = cells
         all_cells.extend(cells)

@@ -12,6 +12,14 @@ selects transient bit flips (the paper's model, default), permanent
 stuck-at defects, or multi-bit upsets for any experiment, and the
 ``model_compare`` experiment tabulates per-GPU AVF across all models.
 
+Campaigns checkpoint by default: golden runs capture full-machine
+snapshots so every live fault simulates only its suffix, with the
+early-exit convergence check classifying quiesced transients MASKED
+immediately (:mod:`repro.checkpoint`). ``--checkpoint-interval N``
+tunes the capture stride, ``--no-checkpoints`` restores the
+simulate-from-cycle-zero behaviour; results are bit-identical either
+way.
+
 Examples::
 
     repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
@@ -19,6 +27,8 @@ Examples::
     repro-experiments fig1 --fault-model stuck_at --samples 200
     repro-experiments model_compare --workers 8 --resume results/store.jsonl
     repro-experiments all --workers 8 --resume results/store.jsonl
+    repro-experiments fig1 --checkpoint-interval 500
+    repro-experiments fig1 --no-checkpoints
     repro-experiments --list-gpus
     repro-experiments --list-fault-models
     python -m repro.experiments all --samples 100
@@ -33,6 +43,7 @@ import time
 from repro.arch.presets import GPU_ALIASES, GPU_PRESETS
 from repro.arch.scaling import get_scaled_gpu
 from repro.engine import CampaignStats, ResultStore
+from repro.errors import ConfigError
 from repro.experiments.fig1_regfile_avf import run_fig1
 from repro.experiments.fig2_localmem_avf import run_fig2
 from repro.experiments.fig3_epf import run_fig3
@@ -114,11 +125,57 @@ def _parse_args(argv):
              "gives identical results)",
     )
     parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="CYCLES",
+        help="golden-run snapshot stride in cycles for suffix-only fault "
+             "injection (default: auto — self-tuning doubling schedule; "
+             "any value gives identical results)",
+    )
+    parser.add_argument(
+        "--no-checkpoints", action="store_true",
+        help="disable golden-run snapshots: re-simulate every live fault "
+             "from cycle zero (bit-identical, slower)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="CSV",
         help="also write the cells to this CSV path (figure name is "
              "appended when running 'all')",
     )
     return parser.parse_args(argv)
+
+
+def _validate_args(args) -> None:
+    """Range-check numeric CLI arguments with friendly messages.
+
+    argparse only guarantees the values parse as integers; without
+    this, a zero or negative value surfaces as a deep traceback from
+    numpy or the process pool instead of a usable error.
+    """
+    checks = (
+        ("--samples", args.samples, 1),
+        ("--seed", args.seed, 0),
+        ("--workers", args.workers, 1),
+        ("--shard-size", args.shard_size, 1),
+        ("--checkpoint-interval", args.checkpoint_interval, 1),
+    )
+    for flag, value, minimum in checks:
+        if value is not None and value < minimum:
+            raise ConfigError(
+                f"{flag} must be >= {minimum}, got {value}"
+            )
+    if args.no_checkpoints and args.checkpoint_interval is not None:
+        raise ConfigError(
+            "--no-checkpoints and --checkpoint-interval are mutually "
+            "exclusive"
+        )
+
+
+def _checkpoint_interval(args):
+    """The campaign's checkpoint setting: None (off), 'auto', or cycles."""
+    if args.no_checkpoints:
+        return None
+    if args.checkpoint_interval is not None:
+        return args.checkpoint_interval
+    return "auto"
 
 
 def _progress(cell):
@@ -167,9 +224,14 @@ def main(argv=None) -> int:
               "--list-gpus/--list-workloads/--list-fault-models is given",
               file=sys.stderr)
         return 2
-    gpus = None
-    if args.gpus is not None:
-        gpus = [get_scaled_gpu(name) for name in args.gpus]
+    try:
+        _validate_args(args)
+        gpus = None
+        if args.gpus is not None:
+            gpus = [get_scaled_gpu(name) for name in args.gpus]
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     names = list(_FIGURES) if args.experiment == "all" else [args.experiment]
     store = ResultStore(args.resume) if args.resume else None
     try:
@@ -192,6 +254,7 @@ def main(argv=None) -> int:
                 shard_size=args.shard_size,
                 stats=stats,
                 fault_model=args.fault_model,
+                checkpoint_interval=_checkpoint_interval(args),
             )
             print(report)
             print()

@@ -99,8 +99,14 @@ class RunResult:
         return len(self.launch_cycles)
 
 
-def run_workload(gpu: Gpu, workload: Workload) -> RunResult:
-    """Allocate buffers, run every launch, snapshot the outputs."""
+def run_workload(gpu: Gpu, workload: Workload, monitor=None) -> RunResult:
+    """Allocate buffers, run every launch, snapshot the outputs.
+
+    ``monitor`` (optional) observes the run for the checkpoint
+    subsystem: ``monitor.begin_launch(gpu, index, launch_cycles)``
+    before each launch and ``monitor.after_step(gpu)`` between core
+    steps. Monitors never perturb the simulation.
+    """
     bases: dict[str, int] = {}
     for spec in workload.buffers:
         if spec.data is not None:
@@ -109,8 +115,10 @@ def run_workload(gpu: Gpu, workload: Workload) -> RunResult:
             buffer = gpu.mem.alloc(spec.name, spec.nbytes)
         bases[spec.name] = buffer.base
     launch_cycles = []
-    for launch in workload.make_launches(gpu.config.isa, bases):
-        launch_cycles.append(gpu.launch(launch))
+    for index, launch in enumerate(workload.make_launches(gpu.config.isa, bases)):
+        if monitor is not None:
+            monitor.begin_launch(gpu, index, launch_cycles)
+        launch_cycles.append(gpu.launch(launch, monitor=monitor))
     cycles = gpu.finish()
     outputs = gpu.mem.snapshot(workload.output_buffers)
     return RunResult(

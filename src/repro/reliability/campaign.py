@@ -100,8 +100,15 @@ def run_cell(config: GpuConfig, workload_name: str,
              raw_fit_per_bit: float = RAW_FIT_PER_BIT,
              golden: GoldenRun | None = None,
              workers: int = 1,
-             fault_model=None) -> CellResult:
-    """Measure one (GPU, benchmark) cell end to end."""
+             fault_model=None,
+             checkpoint_interval=None) -> CellResult:
+    """Measure one (GPU, benchmark) cell end to end.
+
+    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) makes
+    the golden run capture machine snapshots so live-fault
+    re-simulations run suffix-only with early-exit convergence — same
+    outcomes and cycle counts, less wall time (:mod:`repro.checkpoint`).
+    """
     from repro.faultmodels.registry import fault_model_name
     scale = scale or default_scale()
     samples = samples if samples is not None else default_samples()
@@ -110,7 +117,8 @@ def run_cell(config: GpuConfig, workload_name: str,
 
     if golden is None:
         golden = run_golden(config, workload, scheduler=scheduler,
-                            ace_mode=ace_mode)
+                            ace_mode=ace_mode,
+                            checkpoint_interval=checkpoint_interval)
 
     start = time.perf_counter()
     campaign = run_fi_campaign(
@@ -152,7 +160,8 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
                structures: tuple = STRUCTURES,
                progress=None, workers: int = 1,
                store=None, shard_size: int | None = None,
-               stats=None, fault_model=None) -> list[CellResult]:
+               stats=None, fault_model=None,
+               checkpoint_interval=None) -> list[CellResult]:
     """Run the full (GPU x benchmark) matrix the figures are built from.
 
     Delegates to the job-graph engine (:mod:`repro.engine.matrix`):
@@ -162,8 +171,10 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
     :class:`repro.engine.CampaignStats`) collects the jobs
     total/cached/executed accounting. ``fault_model`` selects the
     campaign's fault model (default transient; part of the job
-    fingerprints, so models never collide in a store). Results are
-    bit-identical to the serial per-cell loop for every setting.
+    fingerprints, so models never collide in a store).
+    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) turns
+    on suffix-only fault injection from golden-run snapshots. Results
+    are bit-identical to the serial per-cell loop for every setting.
     """
     from repro.engine.matrix import run_campaign
     result = run_campaign(
@@ -171,6 +182,7 @@ def run_matrix(gpus: list | None = None, workloads: list | None = None,
         seed=seed, scheduler=scheduler, structures=structures,
         shard_size=shard_size, workers=workers, store=store,
         progress=progress, stats=stats, fault_model=fault_model,
+        checkpoint_interval=checkpoint_interval,
     )
     return result.cells
 

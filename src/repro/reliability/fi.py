@@ -12,12 +12,20 @@ Campaign flow per (GPU, benchmark, structure):
    provably-dead (classified MASKED without re-simulation) or
    potentially-live, honouring the model's liveness semantics
    (stuck-at faults survive write-backs).
-4. Every live fault is re-simulated to completion with the model's
-   disturbance applied at its cycle; the run is classified MASKED /
-   SDC (bit-exact output comparison against the golden outputs) / DUE
-   (simulator fault or watchdog hang).
+4. Every live fault is re-simulated with the model's disturbance
+   applied at its cycle; the run is classified MASKED / SDC (bit-exact
+   output comparison against the golden outputs) / DUE (simulator
+   fault or watchdog hang).
 
 ``AVF_FI = (SDC + DUE) / samples``.
+
+When the golden run captured checkpoints (:mod:`repro.checkpoint`),
+step 4 becomes *suffix-only*: each live fault restores the nearest
+machine snapshot before its fault cycle and simulates only the suffix,
+and transient-class faults additionally exit early — classified MASKED
+the moment the machine's state digest matches the golden one at the
+same capture label. Outcomes and cycle counts are bit-identical to
+full re-simulation either way.
 """
 
 from __future__ import annotations
@@ -62,16 +70,31 @@ class GoldenRun:
     ace: AceAccumulator
     occupancy: OccupancyAccumulator
     wall_time_s: float
+    #: Machine snapshots captured during the run (None: checkpointing
+    #: off). When present, live-fault re-simulations run suffix-only.
+    snapshots: object = None
 
 
 def run_golden(config: GpuConfig, workload: Workload, scheduler: str = "rr",
-               ace_mode: AceMode = AceMode.CONSERVATIVE) -> GoldenRun:
-    """Run fault-free with ACE + occupancy tracing attached."""
+               ace_mode: AceMode = AceMode.CONSERVATIVE,
+               checkpoint_interval=None) -> GoldenRun:
+    """Run fault-free with ACE + occupancy tracing attached.
+
+    ``checkpoint_interval`` — None (off), ``"auto"``, or a cycle count —
+    additionally captures periodic full-machine snapshots
+    (:mod:`repro.checkpoint`) that downstream fault injections restore
+    instead of re-simulating the fault-free prefix. Capture only
+    observes: the traced results are identical with or without it.
+    """
+    monitor = None
+    if checkpoint_interval is not None:
+        from repro.checkpoint import CheckpointRecorder
+        monitor = CheckpointRecorder(checkpoint_interval)
     ace = AceAccumulator(config, mode=ace_mode)
     occupancy = OccupancyAccumulator(config)
     gpu = Gpu(config, scheduler=scheduler, sink=CompositeSink(ace, occupancy))
     start = time.perf_counter()
-    result = run_workload(gpu, workload)
+    result = run_workload(gpu, workload, monitor=monitor)
     elapsed = time.perf_counter() - start
     return GoldenRun(
         config=config,
@@ -83,6 +106,7 @@ def run_golden(config: GpuConfig, workload: Workload, scheduler: str = "rr",
         ace=ace,
         occupancy=occupancy,
         wall_time_s=elapsed,
+        snapshots=monitor.snapshots() if monitor is not None else None,
     )
 
 
@@ -132,19 +156,41 @@ class CampaignOutput:
 
 def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
                     golden_outputs: dict, golden_cycles: int,
-                    scheduler: str, fault_model=None) -> FaultResult:
-    """Full faulty run for one live fault site.
+                    scheduler: str, fault_model=None,
+                    snapshots=None) -> FaultResult:
+    """Faulty run for one live fault site.
 
     The single deterministic re-simulation primitive shared by the
     serial path, the per-cell process pool, and the campaign engine's
     FI-shard jobs (:mod:`repro.engine.jobs`). ``fault_model`` selects
     the disturbance semantics (default: transient single-bit flip).
+
+    ``snapshots`` (a :class:`repro.checkpoint.SnapshotSet` from the
+    golden run) switches to suffix-only simulation with the early-exit
+    convergence check; the classification and the recorded cycle count
+    are bit-identical to the full re-simulation either way.
     """
-    gpu = Gpu(config, scheduler=scheduler)
-    gpu.set_faults([plan], fault_model=fault_model)
-    gpu.set_watchdog(default_watchdog_for(golden_cycles))
+    watchdog = default_watchdog_for(golden_cycles)
     try:
-        result = run_workload(gpu, workload)
+        if snapshots is not None:
+            from repro.checkpoint import (
+                ConvergedToGolden,
+                run_faulty_from_checkpoints,
+            )
+            try:
+                result = run_faulty_from_checkpoints(
+                    config, workload, plan, scheduler, watchdog, snapshots,
+                    fault_model=fault_model)
+            except ConvergedToGolden:
+                # Full-state digest matched golden: the rest of the run
+                # is provably the golden run — MASKED, golden cycles.
+                return FaultResult(plan, Outcome.MASKED, True,
+                                   cycles=golden_cycles, early_exit=True)
+        else:
+            gpu = Gpu(config, scheduler=scheduler)
+            gpu.set_faults([plan], fault_model=fault_model)
+            gpu.set_watchdog(watchdog)
+            result = run_workload(gpu, workload)
     except SimFault as fault:
         return FaultResult(plan, Outcome.DUE, True, detail=type(fault).__name__)
     outcome = classify_outputs(golden_outputs, result.outputs)
@@ -152,14 +198,36 @@ def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
         count_corrupted_words(golden_outputs, result.outputs)
         if outcome is Outcome.SDC else 0
     )
-    return FaultResult(plan, outcome, True, corrupted_words=corrupted)
+    return FaultResult(plan, outcome, True, corrupted_words=corrupted,
+                       cycles=result.cycles)
 
 
 def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
                 golden: GoldenRun, model_name: str) -> FaultResult:
     return resimulate_plan(config, workload, plan, golden.outputs,
                            golden.cycles, golden.scheduler,
-                           fault_model=model_name)
+                           fault_model=model_name,
+                           snapshots=golden.snapshots)
+
+
+def _worker_snapshots(config, workload, scheduler: str, interval):
+    """Per-process snapshot set for the pooled serial path.
+
+    Keyed by the full capture identity (the serial path has no job
+    fingerprints); the shared per-process cache in
+    :func:`repro.checkpoint.cached_snapshots` re-derives the golden
+    run's set once and reuses it for every fault of that cell the
+    worker simulates.
+    """
+    if interval is None:
+        return None
+    import dataclasses
+    import json
+    from repro.checkpoint import cached_snapshots
+    key = ("capture-params",
+           json.dumps(dataclasses.asdict(config), sort_keys=True),
+           workload.name, workload.scale, scheduler, interval)
+    return cached_snapshots(key, config, workload, scheduler, interval)
 
 
 def _resim_worker(args) -> tuple:
@@ -167,15 +235,22 @@ def _resim_worker(args) -> tuple:
 
     Workloads hold closures (not picklable), so workers rebuild them
     from the registry by (name, scale) — deterministic by construction.
+    Likewise snapshot sets: shipping one per fault would out-cost the
+    suffix savings, so the golden's checkpoint interval travels
+    instead and each worker captures the set once.
     """
     (config, workload_name, scale, scheduler, golden_outputs,
-     golden_cycles, plan, model_name) = args
+     golden_cycles, plan, model_name, checkpoint_interval) = args
     from repro.kernels.registry import get_workload
     workload = get_workload(workload_name, scale)
+    snapshots = _worker_snapshots(config, workload, scheduler,
+                                  checkpoint_interval)
     result = resimulate_plan(config, workload, plan, golden_outputs,
                              golden_cycles, scheduler,
-                             fault_model=model_name)
-    return plan, result.outcome.value, result.detail, result.corrupted_words
+                             fault_model=model_name,
+                             snapshots=snapshots)
+    return (plan, result.outcome.value, result.detail,
+            result.corrupted_words, result.cycles)
 
 
 def _resimulate_batch(config: GpuConfig, workload: Workload,
@@ -183,7 +258,11 @@ def _resimulate_batch(config: GpuConfig, workload: Workload,
                       workers: int, model_name: str) -> dict:
     """Re-simulate live faults, optionally across processes.
 
-    Returns plan -> FaultResult. Results are independent of ``workers``.
+    Returns plan -> FaultResult. Results are independent of ``workers``
+    — when the golden run carries snapshots, pooled workers re-derive
+    the identical set once per process (pickling it per fault would
+    out-cost the suffix savings), and scratch and suffix runs classify
+    identically anyway.
     """
     if workers <= 1 or len(plans) < 2:
         return {plan: _resimulate(config, workload, plan, golden, model_name)
@@ -196,18 +275,20 @@ def _resimulate_batch(config: GpuConfig, workload: Workload,
             f"(got {workload.name!r}); use workers=1"
         )
     from concurrent.futures import ProcessPoolExecutor
+    interval = golden.snapshots.interval if golden.snapshots is not None \
+        else None
     jobs = [
         (config, workload.name, workload.scale, golden.scheduler,
-         golden.outputs, golden.cycles, plan, model_name)
+         golden.outputs, golden.cycles, plan, model_name, interval)
         for plan in plans
     ]
     results: dict = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for plan, outcome_value, detail, corrupted in pool.map(
+        for plan, outcome_value, detail, corrupted, cycles in pool.map(
                 _resim_worker, jobs, chunksize=4):
             results[plan] = FaultResult(
                 plan, Outcome(outcome_value), True, detail=detail,
-                corrupted_words=corrupted,
+                corrupted_words=corrupted, cycles=cycles,
             )
     return results
 

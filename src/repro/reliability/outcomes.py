@@ -44,6 +44,13 @@ class FaultResult:
     detail: str = ""
     #: SDC severity: number of corrupted output words (0 unless SDC).
     corrupted_words: int = 0
+    #: Total chip cycles of the faulty run (0 for DUE and pruned sites).
+    #: Identical between checkpointed and full re-simulation.
+    cycles: int = 0
+    #: True when the convergence check classified this MASKED before
+    #: output comparison (checkpointed campaigns only; the outcome and
+    #: cycle count are unaffected).
+    early_exit: bool = False
 
 
 def classify_outputs(golden: dict, faulty: dict) -> Outcome:

@@ -57,6 +57,7 @@ class CoreBase:
             1, config.latency.issue_cycles // config.num_schedulers
         )
         self.last_issued = -1
+        self.resume_at: int | None = None
         self.watchdog_limit = DEFAULT_WATCHDOG
         # Fault plans targeting this core, sorted by cycle; applied
         # lazily through the installed fault model.
@@ -106,6 +107,115 @@ class CoreBase:
             elif plan.structure == LOCAL_MEMORY:
                 self._fault_model.apply(self.lmem, plan)
             self._fault_pos += 1
+
+    @property
+    def pending_faults(self) -> bool:
+        """True while installed fault plans have not all been applied."""
+        return self._fault_pos < len(self._faults)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self, active: bool = True, copy: bool = True) -> dict:
+        """Plain-data image of everything the core's future depends on.
+
+        Launch-derived structure (program, launch config, footprint) is
+        deliberately absent: it is rebuilt deterministically from the
+        workload on restore. Fault bookkeeping is absent too — snapshots
+        are taken on fault-free golden runs and faults are re-installed
+        via :meth:`set_faults` after a restore.
+
+        ``active`` — False for between-launch captures. The image also
+        carries ``live_reg``/``live_lmem`` hints: the word ranges owned
+        by resident blocks. Storage outside them is *dead* — cleared at
+        the next allocation before any access — so the convergence
+        digest (:mod:`repro.checkpoint.digest`) canonicalises it to
+        zero; a faulty run whose corruption is orphaned in a retired
+        block's rows then still converges to golden. Restores use the
+        raw data, so the hints never affect simulation.
+        """
+        live_reg: list = []
+        live_lmem: list = []
+        if active and self.footprint is not None:
+            words_per_block = (
+                self.footprint.reg_words_per_warp
+                // self.config.warp_size
+            ) * self.footprint.warps * self.config.warp_size
+            lmem_words = self.footprint.lmem_bytes // 4
+            for block in self.blocks:
+                live_reg.append(
+                    (block.reg_base_row * self.config.warp_size,
+                     words_per_block))
+                if lmem_words:
+                    live_lmem.append((block.lmem_base // 4, lmem_words))
+        return {
+            "live_reg": live_reg,
+            "live_lmem": live_lmem,
+            "time": int(self.time),
+            "issue_free": int(self.issue_free),
+            "last_issued": int(self.last_issued),
+            "blocks_retired": int(self.blocks_retired),
+            "instructions_issued": int(self.instructions_issued),
+            "warp_counter": int(self._warp_counter),
+            "free_reg_slots": list(self._free_reg_slots),
+            "free_lmem_slots": list(self._free_lmem_slots),
+            "regfile": self.regfile.snapshot_state(copy=copy),
+            "lmem": self.lmem.snapshot_state(copy=copy),
+            "blocks": [
+                {
+                    "linear_id": block.linear_id,
+                    "index": tuple(block.index),
+                    "reg_base_row": block.reg_base_row,
+                    "lmem_base": block.lmem_base,
+                    "unfinished": block.unfinished,
+                    "warps": [warp.snapshot_state() for warp in block.warps],
+                }
+                for block in self.blocks
+            ],
+        }
+
+    def restore_state(self, state: dict, program=None,
+                      launch: LaunchConfig | None = None,
+                      footprint: BlockFootprint | None = None) -> None:
+        """Overwrite this core with a snapshot.
+
+        ``program``/``launch``/``footprint`` describe the launch that
+        was active at capture time (all None between launches). Faults
+        are cleared; install them with :meth:`set_faults` afterwards.
+        """
+        self.program = program
+        self.launch = launch
+        self.footprint = footprint
+        if program is not None:
+            self._prepare_program(program)
+        self.time = state["time"]
+        self.issue_free = state["issue_free"]
+        self.last_issued = state["last_issued"]
+        self.blocks_retired = state["blocks_retired"]
+        self.instructions_issued = state["instructions_issued"]
+        self._warp_counter = state["warp_counter"]
+        self._free_reg_slots = list(state["free_reg_slots"])
+        self._free_lmem_slots = list(state["free_lmem_slots"])
+        self.regfile.restore_state(state["regfile"])
+        self.lmem.restore_state(state["lmem"])
+        self.blocks = []
+        self.warps = []
+        for bstate in state["blocks"]:
+            block = BlockState(bstate["linear_id"], tuple(bstate["index"]),
+                               bstate["reg_base_row"], bstate["lmem_base"],
+                               footprint)
+            block.unfinished = bstate["unfinished"]
+            for wstate in bstate["warps"]:
+                block.warps.append(self._warp_from_state(wstate, block))
+            self.blocks.append(block)
+            self.warps.extend(block.warps)
+        self._faults = []
+        self._fault_pos = 0
+        self._fault_model = None
+
+    def _warp_from_state(self, state: dict, block: BlockState):
+        """ISA-specific warp reconstruction (SassWarp / SiWavefront)."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Launch setup / block residency
@@ -196,13 +306,23 @@ class CoreBase:
     # ------------------------------------------------------------------
     # Issue loop
     # ------------------------------------------------------------------
-    def run_until_retire(self) -> bool:
-        """Issue instructions until one block retires or the core drains.
+    def run_until_retire(self, quantum: int | None = None) -> bool:
+        """Issue instructions until a block retires, the core drains, or
+        a slice boundary is reached.
 
         Returns True if a block retired (the caller may backfill),
-        False if the core ran out of work.
+        False otherwise. ``quantum`` (cycles) makes the core yield
+        control at the next multiple-of-quantum clock boundary instead
+        of running a whole block to retirement: ``self.resume_at`` then
+        holds the pending issue time for the dispatcher's heap. The
+        boundaries form a fixed global grid, so the cross-core event
+        interleaving stays deterministic — and the dispatcher regains
+        control often enough for the checkpoint subsystem's capture
+        points to land close to their interval thresholds.
         """
         retired_before = self.blocks_retired
+        limit = None
+        self.resume_at = None
         while self.blocks:
             candidates = [
                 warp for warp in self.warps
@@ -218,6 +338,14 @@ class CoreBase:
             t_best = min(
                 max(warp.ready_cycle, self.issue_free) for warp in candidates
             )
+            if quantum is not None:
+                if limit is None:
+                    # First issue of this step pins the slice boundary;
+                    # it always proceeds, so every step makes progress.
+                    limit = (t_best // quantum + 1) * quantum
+                elif t_best >= limit:
+                    self.resume_at = t_best
+                    return False
             ties = [
                 warp for warp in candidates
                 if max(warp.ready_cycle, self.issue_free) == t_best

@@ -146,6 +146,41 @@ class GlobalMemory:
             return 0
         return int(np.unique(np.asarray(addresses, dtype=np.int64) // segment_bytes).size)
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self, copy: bool = True) -> dict:
+        """Plain-data copy of the allocated state (prefix of the array).
+
+        Words past the bump pointer are untouched by construction
+        (every device access is bounds-checked against the allocated
+        buffers), so only the used prefix needs copying. ``copy=False``
+        returns a view instead (hash-and-discard users).
+        """
+        used = (self._next + 3) // 4
+        return {
+            "words": self._words[:used].copy() if copy
+            else self._words[:used],
+            "next": self._next,
+            "buffers": [
+                (buffer.name, buffer.base, buffer.nbytes)
+                for buffer in self.buffers.values()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite this memory with a snapshot (capacity must match)."""
+        words = state["words"]
+        if words.size > self._words.size:
+            raise ConfigError("snapshot larger than this memory's capacity")
+        self._words[:words.size] = words
+        self._words[words.size:] = 0
+        self._next = state["next"]
+        self.buffers = {
+            name: Buffer(name, base, nbytes)
+            for name, base, nbytes in state["buffers"]
+        }
+
 
 def _as_words(data: np.ndarray) -> np.ndarray:
     """View any 4-byte-element array as little-endian u32 words."""

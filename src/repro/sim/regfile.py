@@ -94,3 +94,26 @@ class RegisterFile:
         self.data[start: start + count * self.warp_size] = 0
         if self._forced:
             self._reapply_forced()
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self, copy: bool = True) -> dict:
+        """Plain-data copy of the stored words + stuck-at overlays.
+
+        ``copy=False`` returns views instead (for hash-and-discard
+        users like the convergence digest); never retain such a state.
+        """
+        data = self.data.copy() if copy else self.data
+        return {"data": data, "forced": dict(self._forced)}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents with a snapshot (geometry must match).
+
+        The stuck-at overlay dict is restored too; golden-run snapshots
+        carry an empty overlay, and a permanent fault installed *after*
+        the restore re-arms itself through ``force_bit`` exactly as in
+        an un-checkpointed run.
+        """
+        self.data[:] = state["data"]
+        self._forced = dict(state["forced"])

@@ -76,6 +76,9 @@ class SassCore(CoreBase):
             block.warps.append(warp)
         block.unfinished = num_warps
 
+    def _warp_from_state(self, state: dict, block: BlockState) -> SassWarp:
+        return SassWarp.from_state(state, block, self.config.warp_size)
+
     def _execute(self, warp: SassWarp, t_issue: int) -> int:
         program = self.program
         pc = warp.stack.pc

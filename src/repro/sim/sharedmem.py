@@ -113,3 +113,19 @@ class LocalMemory:
         self.data[start: start + nbytes // 4] = 0
         if self._forced:
             self._reapply_forced()
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self, copy: bool = True) -> dict:
+        """Plain-data copy of the stored words + stuck-at overlays.
+
+        ``copy=False`` returns views instead (hash-and-discard users).
+        """
+        data = self.data.copy() if copy else self.data
+        return {"data": data, "forced": dict(self._forced)}
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents with a snapshot (geometry must match)."""
+        self.data[:] = state["data"]
+        self._forced = dict(state["forced"])

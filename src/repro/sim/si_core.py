@@ -80,6 +80,9 @@ class SiCore(CoreBase):
             self.regfile.write_row(wave.reg_base_row + 1, lid_y, valid,
                                    wave.valid_mask, self.time)
 
+    def _warp_from_state(self, state: dict, block: BlockState) -> SiWavefront:
+        return SiWavefront.from_state(state, block, self.config.warp_size)
+
     def _execute(self, wave: SiWavefront, t_issue: int) -> int:
         program = self.program
         pc = wave.pc

@@ -101,3 +101,17 @@ class SimtStack:
                 self.entries.pop()
             else:
                 break
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> list:
+        """Plain-data stack image: one (pc, mask, reconv) row per entry."""
+        return [(e.pc, e.mask, e.reconv) for e in self.entries]
+
+    def restore_state(self, state: list) -> None:
+        """Replace the stack contents with a snapshot image."""
+        self.entries = [
+            StackEntry(pc=pc, mask=mask, reconv=reconv)
+            for pc, mask, reconv in state
+        ]

@@ -50,6 +50,28 @@ class WarpBase:
     def done(self) -> bool:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (see repro.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Plain-data image of the ISA-independent warp state."""
+        return {
+            "wid": self.wid,
+            "lane_offset": self.lane_offset,
+            "nlanes": self.nlanes,
+            "reg_base_row": self.reg_base_row,
+            "ready_cycle": int(self.ready_cycle),
+            "last_issue": int(self.last_issue),
+            "at_barrier": bool(self.at_barrier),
+            "barrier_arrival": int(self.barrier_arrival),
+        }
+
+    def _restore_base(self, state: dict) -> None:
+        self.ready_cycle = state["ready_cycle"]
+        self.last_issue = state["last_issue"]
+        self.at_barrier = state["at_barrier"]
+        self.barrier_arrival = state["barrier_arrival"]
+
 
 class SassWarp(WarpBase):
     """NVIDIA warp: SIMT stack divergence + predicate registers."""
@@ -71,6 +93,24 @@ class SassWarp(WarpBase):
     def special_cache(self) -> dict:
         return self._specials
 
+    def snapshot_state(self) -> dict:
+        # The special-register cache is dropped: its values are pure
+        # functions of launch geometry, recomputed on demand.
+        state = super().snapshot_state()
+        state["stack"] = self.stack.snapshot_state()
+        state["preds"] = self.preds.copy()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict, block: "BlockState",
+                   warp_size: int) -> "SassWarp":
+        warp = cls(state["wid"], block, state["lane_offset"],
+                   state["nlanes"], warp_size, state["reg_base_row"])
+        warp._restore_base(state)
+        warp.stack.restore_state(state["stack"])
+        warp.preds[:] = state["preds"]
+        return warp
+
 
 class SiWavefront(WarpBase):
     """AMD wavefront: scalar register file + EXEC-mask divergence."""
@@ -89,3 +129,30 @@ class SiWavefront(WarpBase):
     @property
     def done(self) -> bool:
         return self.finished
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["pc"] = int(self.pc)
+        state["valid_mask"] = int(self.valid_mask)
+        state["exec_mask"] = int(self.exec_mask)
+        state["vcc"] = int(self.vcc)
+        state["scc"] = bool(self.scc)
+        state["sgprs"] = self.sgprs.copy()
+        state["finished"] = bool(self.finished)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict, block: "BlockState",
+                   warp_size: int) -> "SiWavefront":
+        wave = cls(state["wid"], block, state["lane_offset"],
+                   state["nlanes"], warp_size, state["reg_base_row"],
+                   num_sgprs=len(state["sgprs"]))
+        wave._restore_base(state)
+        wave.pc = state["pc"]
+        wave.valid_mask = state["valid_mask"]
+        wave.exec_mask = state["exec_mask"]
+        wave.vcc = state["vcc"]
+        wave.scc = state["scc"]
+        wave.sgprs[:] = state["sgprs"]
+        wave.finished = state["finished"]
+        return wave

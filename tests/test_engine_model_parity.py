@@ -1,0 +1,105 @@
+"""Serial-vs-engine equivalence for every fault model, checkpoints
+on and off.
+
+The transient path has had an end-to-end parity test since the engine
+landed (:mod:`tests.test_parallel_campaign`); this extends the bar to
+``stuck_at`` and ``mbu`` and crosses it with the checkpoint subsystem:
+the engine matrix, the engine matrix with suffix-only checkpointed FI,
+and the legacy serial cell loop must all produce identical cells.
+"""
+
+import pytest
+
+from repro.engine import clear_memory_cache, run_campaign
+from repro.reliability.campaign import run_cell
+from repro.sim.faults import STRUCTURES
+from tests.conftest import MINI_AMD, MINI_NVIDIA
+
+SAMPLES, SEED = 20, 5
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memory_cache():
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def _comparable(cell):
+    row = cell.row()
+    row.pop("golden_time_s")
+    row.pop("fi_time_s")
+    return row
+
+
+class TestModelParityWithCheckpoints:
+    @pytest.mark.parametrize("config", [MINI_NVIDIA, MINI_AMD],
+                             ids=["sass", "si"])
+    @pytest.mark.parametrize("model", ["stuck_at", "mbu"])
+    def test_engine_matches_serial_checkpoints_on_and_off(
+            self, config, model):
+        kwargs = dict(gpus=[config], workloads=["histogram"], scale="tiny",
+                      samples=SAMPLES, seed=SEED, structures=STRUCTURES,
+                      fault_model=model)
+        plain = run_campaign(**kwargs).cells
+        clear_memory_cache()
+        checkpointed = run_campaign(checkpoint_interval="auto",
+                                    **kwargs).cells
+        clear_memory_cache()
+        serial = [run_cell(config, "histogram", scale="tiny",
+                           samples=SAMPLES, seed=SEED, structures=STRUCTURES,
+                           fault_model=model)]
+        serial_ckpt = [run_cell(config, "histogram", scale="tiny",
+                                samples=SAMPLES, seed=SEED,
+                                structures=STRUCTURES, fault_model=model,
+                                checkpoint_interval=250)]
+        rows = [_comparable(c) for c in plain]
+        assert rows == [_comparable(c) for c in checkpointed]
+        assert rows == [_comparable(c) for c in serial]
+        assert rows == [_comparable(c) for c in serial_ckpt]
+        for left, right in zip(plain, checkpointed):
+            for structure in STRUCTURES:
+                a, b = left.fi[structure], right.fi[structure]
+                assert (a.masked, a.sdc, a.due, a.pruned, a.resimulated) == \
+                       (b.masked, b.sdc, b.due, b.pruned, b.resimulated)
+
+    @pytest.mark.parametrize("model", ["transient", "stuck_at", "mbu"])
+    def test_checkpointed_pool_matches_serial(self, model):
+        """Workers + snapshot shipping must not change any cell."""
+        kwargs = dict(gpus=[MINI_NVIDIA], workloads=["histogram"],
+                      scale="tiny", samples=SAMPLES, seed=SEED,
+                      structures=STRUCTURES, fault_model=model)
+        serial = run_campaign(**kwargs).cells
+        clear_memory_cache()
+        pooled = run_campaign(checkpoint_interval=200, workers=3,
+                              shard_size=4, **kwargs).cells
+        assert [_comparable(c) for c in serial] == \
+               [_comparable(c) for c in pooled]
+
+
+class TestCheckpointStoreCompatibility:
+    def test_checkpointed_resume_reuses_simulation_jobs(self, tmp_path):
+        """Only the cell reduction re-runs when checkpointing toggles.
+
+        Golden/plan/shard fingerprints exclude the checkpoint setting
+        (their payloads are bit-identical either way), so a
+        checkpointed campaign resumed from an un-checkpointed store
+        reuses every simulation job.
+        """
+        store = tmp_path / "store.jsonl"
+        kwargs = dict(gpus=[MINI_NVIDIA], workloads=["vectoradd"],
+                      scale="tiny", samples=12, seed=2,
+                      structures=STRUCTURES)
+        first = run_campaign(store=store, **kwargs)
+        assert first.stats.executed > 0
+        clear_memory_cache()
+        second = run_campaign(store=store, checkpoint_interval="auto",
+                              **kwargs)
+        executed_kinds = {
+            kind: counts["executed"]
+            for kind, counts in second.stats.by_kind.items()
+            if counts["executed"]
+        }
+        assert executed_kinds == {"cell": 1}
+        assert [_comparable(c) for c in first.cells] == \
+               [_comparable(c) for c in second.cells]
