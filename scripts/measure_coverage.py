@@ -1,0 +1,95 @@
+"""Stdlib statement-coverage measurement for the repro package.
+
+CI measures coverage with pytest-cov; this script approximates the
+same statement coverage with only the standard library (``trace``),
+for environments without coverage tooling — it is how the
+``--cov-fail-under`` floor in the coverage CI job was pinned.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py [pytest args...]
+
+Tracing costs roughly 5-8x the bare suite; on slow machines split the
+measurement into chunks and merge::
+
+    python scripts/measure_coverage.py --dump /tmp/a.pkl tests/test_a*.py
+    python scripts/measure_coverage.py --dump /tmp/b.pkl tests/test_[b-z]*.py
+    python scripts/measure_coverage.py --merge /tmp/a.pkl /tmp/b.pkl
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import sysconfig
+import trace
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def report(hit_by_file: dict) -> int:
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        filename = str(path)
+        executable = set(trace._find_executable_linenos(filename))
+        hit = hit_by_file.get(filename, set()) & executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+        rows.append((pct, len(hit), len(executable),
+                     path.relative_to(SRC)))
+    for pct, hit, executable, rel in rows:
+        print(f"{pct:6.1f}%  {hit:5d}/{executable:<5d}  {rel}")
+    overall = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"\nTOTAL {overall:.2f}% ({total_hit}/{total_exec} statements)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    # `python -m pytest` puts the invocation directory on sys.path (the
+    # tests import `tests.conftest`); running via this script does not.
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+
+    if argv and argv[0] == "--merge":
+        merged: dict[str, set] = {}
+        for path in argv[1:]:
+            with open(path, "rb") as handle:
+                for filename, lines in pickle.load(handle).items():
+                    merged.setdefault(filename, set()).update(lines)
+        return report(merged)
+
+    dump_path = None
+    if argv and argv[0] == "--dump":
+        dump_path, argv = argv[1], argv[2:]
+
+    ignore_dirs = sorted({
+        sysconfig.get_paths()[key]
+        for key in ("stdlib", "platstdlib", "purelib", "platlib")
+    })
+    tracer = trace.Trace(count=1, trace=0, ignoredirs=ignore_dirs)
+
+    import pytest
+    rc = tracer.runfunc(pytest.main, argv or ["-q", "-p", "no:cacheprovider"])
+
+    counts = tracer.results().counts
+    hit_by_file: dict[str, set] = {}
+    for (filename, lineno), _ in counts.items():
+        hit_by_file.setdefault(filename, set()).add(lineno)
+    if dump_path:
+        with open(dump_path, "wb") as handle:
+            pickle.dump(hit_by_file, handle)
+    report(hit_by_file)
+    if rc:
+        # A failing/erroring suite under-measures coverage; never let a
+        # floor be pinned from such a run without noticing.
+        print(f"\nWARNING: pytest exited {rc}; coverage is unreliable",
+              file=sys.stderr)
+    return int(rc)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

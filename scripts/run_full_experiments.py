@@ -1,8 +1,10 @@
-"""Run the complete evaluation matrix once and emit all three figures.
+"""Run the complete evaluation matrix once and emit every figure.
 
 Fig. 1, Fig. 2 and Fig. 3 share the same (GPU x benchmark) cells, so a
-single matrix run with both structures regenerates everything; this is
-what EXPERIMENTS.md records. The campaign runs on the job-graph engine
+single matrix run with both datapath structures regenerates them; a
+second matrix run (sharing the golden jobs through the same store)
+adds the control-structure AVF report. This is what EXPERIMENTS.md
+records. The campaign runs on the job-graph engine
 with a persistent result store in the output directory: a run killed
 half-way resumes from its finished jobs on the next invocation, and a
 re-run of a complete campaign executes nothing. Usage::
@@ -17,10 +19,12 @@ import sys
 import time
 
 from repro.arch.scaling import list_scaled_gpus
+from repro.arch.structures import CONTROL_STRUCTURES
 from repro.engine import CampaignStats, run_campaign
 from repro.reliability.report import (
     format_ace_vs_fi,
     format_avf_figure,
+    format_control_avf,
     format_epf_figure,
     write_cells_csv,
 )
@@ -78,8 +82,28 @@ def main() -> int:
     )
     fig3 = format_epf_figure(cells)
     ace = format_ace_vs_fi(cells)
+
+    # Control-structure AVF: a second matrix over the same store (the
+    # golden jobs are shared by fingerprint, so only plan/shard/cell
+    # jobs for the control sites execute).
+    control_result = run_campaign(
+        gpus=list_scaled_gpus(),
+        scale=scale,
+        samples=samples,
+        seed=1,
+        structures=CONTROL_STRUCTURES,
+        workers=workers,
+        store=out / "store.jsonl",
+        progress=progress,
+        stats=stats,
+        checkpoint_interval="auto",
+    )
+    write_cells_csv(control_result.cells, out / "cells_control.csv")
+    control = format_control_avf(control_result.cells, CONTROL_STRUCTURES)
+
     for name, text in (("fig1.txt", fig1), ("fig2.txt", fig2),
-                       ("fig3.txt", fig3), ("ace_vs_fi.txt", ace)):
+                       ("fig3.txt", fig3), ("ace_vs_fi.txt", ace),
+                       ("control_avf.txt", control)):
         (out / name).write_text(text + "\n")
         print("\n" + text, flush=True)
 

@@ -27,6 +27,16 @@ from repro.arch import (
     list_gpus,
     list_scaled_gpus,
 )
+from repro.arch.structures import (
+    ALL_STRUCTURES,
+    CONTROL_STRUCTURES,
+    DATAPATH_STRUCTURES,
+    PREDICATE_FILE,
+    SCHEDULER_STATE,
+    SIMT_STACK,
+    STRUCTURE_REGISTRY,
+    structure_exposed,
+)
 from repro.checkpoint import (
     CheckpointRecorder,
     SnapshotSet,
@@ -100,6 +110,10 @@ __all__ = [
     # simulator
     "Gpu", "LaunchConfig", "pack_params",
     "FaultPlan", "sample_faults", "REGISTER_FILE", "LOCAL_MEMORY",
+    # fault-site structure registry
+    "SIMT_STACK", "PREDICATE_FILE", "SCHEDULER_STATE",
+    "DATAPATH_STRUCTURES", "CONTROL_STRUCTURES", "ALL_STRUCTURES",
+    "STRUCTURE_REGISTRY", "structure_exposed",
     # fault models
     "FaultModel", "TransientBitFlip", "StuckAt", "MultiBitUpset",
     "FAULT_MODELS", "get_fault_model", "list_fault_models",

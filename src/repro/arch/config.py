@@ -128,13 +128,22 @@ class GpuConfig:
     def structure_bits(self, structure: str) -> int:
         """Whole-chip bit count of a named structure.
 
-        ``structure`` is one of ``"register_file"`` / ``"local_memory"``.
+        ``structure`` is any name from
+        :data:`repro.arch.structures.STRUCTURE_REGISTRY`; the chip must
+        expose it (``simt_stack`` exists on SASS chips only).
         """
-        if structure == "register_file":
-            return self.register_file_bits
-        if structure == "local_memory":
-            return self.local_memory_bits
-        raise ConfigError(f"unknown structure {structure!r}")
+        from repro.arch.structures import words_per_core
+        return words_per_core(self, structure) * 32 * self.num_cores
+
+    def structure_words_per_core(self, structure: str) -> int:
+        """32-bit words of a named structure per SM/CU (registry-based)."""
+        from repro.arch.structures import words_per_core
+        return words_per_core(self, structure)
+
+    def exposes_structure(self, structure: str) -> bool:
+        """True when this chip's ISA physically exposes the structure."""
+        from repro.arch.structures import structure_exposed
+        return structure_exposed(self, structure)
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,198 @@
+"""Fault-site structure registry and per-structure geometry.
+
+The paper injects into the two big *datapath* storage arrays (vector
+register file, local/shared memory). The follow-on literature
+(Guerrero-Balaguera et al. 2023 on parallelism-management units; dos
+Santos et al., NSREC 2021) shows the *control* state — divergence
+stacks, predicate/status registers, warp-scheduler bookkeeping — is a
+first-order reliability concern of its own, so the reproduction models
+those structures as fault-injection targets too.
+
+Every structure is addressable through the same ``FaultPlan``
+(core, word, bit) coordinates; this module publishes the per-structure
+geometry that gives those coordinates meaning:
+
+========================  =======================================  ==========
+structure                 one *word* is                            exposed by
+========================  =======================================  ==========
+``register_file``         one 32-bit vector-register lane slot     sass, si
+``local_memory``          one 32-bit shared/LDS word               sass, si
+``simt_stack``            one field (pc / active mask / reconv     sass
+                          pc) of one reconvergence-stack entry of
+                          one hardware warp slot
+``predicate_file``        sass: one predicate register (P0..P6)    sass, si
+                          of one warp slot, one bit per lane;
+                          si: one half of EXEC / VCC, or SCC, of
+                          one wavefront slot
+``scheduler_state``       one half of the ready-cycle / barrier-   sass, si
+                          arrival counters, or the status flags,
+                          of one warp slot
+========================  =======================================  ==========
+
+Control structures are sized per *hardware warp slot*
+(``max_warps_per_core`` slots per core — the physical contexts the
+structures back on real SMs/CUs), so their populations scale with the
+chip exactly like the datapath arrays do.
+
+The registry below is the single source of truth: ``FaultPlan``
+validation, samplers, the campaign engine and the CLI ``--structures``
+/ ``--list-structures`` flags all enumerate it instead of hardcoding
+names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.arch.config import GpuConfig
+
+#: Canonical structure names.
+REGISTER_FILE = "register_file"
+LOCAL_MEMORY = "local_memory"
+SIMT_STACK = "simt_stack"
+PREDICATE_FILE = "predicate_file"
+SCHEDULER_STATE = "scheduler_state"
+
+# ----------------------------------------------------------------------
+# Control-structure geometry constants
+# ----------------------------------------------------------------------
+
+#: Modeled reconvergence-stack entries per hardware warp slot. Eight
+#: levels is the classic GPGPU-Sim sizing; deeper golden-run divergence
+#: is legal (the stack is a Python list) — levels beyond the modeled
+#: storage simply have no injectable bits.
+SIMT_STACK_DEPTH = 8
+#: 32-bit words per stack entry: pc, active mask, reconvergence pc.
+SIMT_STACK_ENTRY_WORDS = 3
+#: SIMT-stack entry field indices (word % SIMT_STACK_ENTRY_WORDS).
+STACK_FIELD_PC, STACK_FIELD_MASK, STACK_FIELD_RECONV = 0, 1, 2
+
+#: SASS predicate registers per thread (P0..P6); one packed 32-lane
+#: word each per warp slot.
+NUM_SASS_PREDICATES = 7
+
+#: SI predicate/status words per wavefront slot:
+#: exec_lo, exec_hi, vcc_lo, vcc_hi, scc (bit 0 of the fifth word).
+SI_PRED_EXEC_LO, SI_PRED_EXEC_HI = 0, 1
+SI_PRED_VCC_LO, SI_PRED_VCC_HI = 2, 3
+SI_PRED_SCC = 4
+SI_PRED_WORDS_PER_WAVE = 5
+
+#: Scheduler-state words per warp slot:
+#: ready-cycle lo/hi, barrier-arrival lo/hi, flags (bit 0: at-barrier).
+SCHED_READY_LO, SCHED_READY_HI = 0, 1
+SCHED_BARRIER_LO, SCHED_BARRIER_HI = 2, 3
+SCHED_FLAGS = 4
+SCHED_FLAG_AT_BARRIER = 1 << 0
+SCHED_WORDS_PER_WARP = 5
+
+
+@dataclass(frozen=True)
+class StructureInfo:
+    """Registry entry for one fault-injectable storage structure."""
+
+    name: str
+    description: str
+    isas: tuple            # ISAs that physically expose the structure
+    control: bool          # True for control state, False for datapath
+
+
+#: Name -> info, in presentation order (datapath first, as the paper).
+STRUCTURE_REGISTRY: dict[str, StructureInfo] = {
+    info.name: info
+    for info in (
+        StructureInfo(
+            REGISTER_FILE,
+            "vector register file (the paper's Fig. 1 target)",
+            isas=("sass", "si"), control=False,
+        ),
+        StructureInfo(
+            LOCAL_MEMORY,
+            "shared memory / LDS (the paper's Fig. 2 target)",
+            isas=("sass", "si"), control=False,
+        ),
+        StructureInfo(
+            SIMT_STACK,
+            "per-warp reconvergence stack: pc, active mask, reconv pc",
+            isas=("sass",), control=True,
+        ),
+        StructureInfo(
+            PREDICATE_FILE,
+            "SASS predicate registers P0..P6 / SI SCC+VCC+EXEC",
+            isas=("sass", "si"), control=True,
+        ),
+        StructureInfo(
+            SCHEDULER_STATE,
+            "per-warp ready/barrier bookkeeping of the warp scheduler",
+            isas=("sass", "si"), control=True,
+        ),
+    )
+}
+
+#: The paper's datapath pair — the default campaign structure set.
+DATAPATH_STRUCTURES = (REGISTER_FILE, LOCAL_MEMORY)
+#: The control-state structures (Guerrero-Balaguera et al. direction).
+CONTROL_STRUCTURES = (SIMT_STACK, PREDICATE_FILE, SCHEDULER_STATE)
+#: Every registered structure, registry order.
+ALL_STRUCTURES = tuple(STRUCTURE_REGISTRY)
+
+
+def structure_info(structure: str) -> StructureInfo:
+    """Registry lookup with a friendly error naming the valid choices."""
+    try:
+        return STRUCTURE_REGISTRY[structure]
+    except KeyError:
+        raise ConfigError(
+            f"unknown structure {structure!r}; "
+            f"known: {', '.join(STRUCTURE_REGISTRY)}"
+        ) from None
+
+
+def structure_exposed(config: GpuConfig, structure: str) -> bool:
+    """True when the chip's ISA physically exposes the structure."""
+    return config.isa in structure_info(structure).isas
+
+
+def exposed_structures(config: GpuConfig, structures) -> tuple:
+    """The subset of ``structures`` the chip exposes (order preserved).
+
+    Validates every name against the registry, so a typo fails loudly
+    even when the chip would not have exposed the structure anyway.
+    """
+    return tuple(s for s in structures if structure_exposed(config, s))
+
+
+def control_words_per_warp(config: GpuConfig, structure: str) -> int:
+    """32-bit words one hardware warp slot contributes to a structure."""
+    if structure == SIMT_STACK:
+        return SIMT_STACK_DEPTH * SIMT_STACK_ENTRY_WORDS
+    if structure == PREDICATE_FILE:
+        return (NUM_SASS_PREDICATES if config.isa == "sass"
+                else SI_PRED_WORDS_PER_WAVE)
+    if structure == SCHEDULER_STATE:
+        return SCHED_WORDS_PER_WARP
+    raise ConfigError(f"{structure!r} is not a control structure")
+
+
+def words_per_core(config: GpuConfig, structure: str) -> int:
+    """32-bit words of the structure per SM/CU.
+
+    Raises :class:`ConfigError` for unregistered structures and for
+    structures the chip's ISA does not expose (e.g. ``simt_stack`` on
+    an EXEC-mask SI chip, which has no reconvergence stack).
+    """
+    info = structure_info(structure)
+    if config.isa not in info.isas:
+        raise ConfigError(
+            f"structure {structure!r} is not exposed by {config.name} "
+            f"(isa {config.isa!r}; exposed on: {', '.join(info.isas)})"
+        )
+    if structure == REGISTER_FILE:
+        return config.registers_per_core
+    if structure == LOCAL_MEMORY:
+        return config.local_memory_bytes // 4
+    return config.max_warps_per_core * control_words_per_warp(config, structure)

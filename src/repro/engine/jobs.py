@@ -333,8 +333,14 @@ def reduce_cell_job(config: GpuConfig, workload_name: str, scale: str,
         "cycles": golden_payload["cycles"],
         "num_launches": len(golden_payload["launch_cycles"]),
         "fi": estimates,
-        "ace": {s: golden_payload["ace"][s] for s in structures},
-        "occupancy": {s: golden_payload["occupancy"][s] for s in structures},
+        # Golden payloads record ACE/occupancy for the datapath pair
+        # only (keeping them byte-identical across structure-taxonomy
+        # growth, so old stores keep resolving); control structures
+        # have no ACE/occupancy model and report 0.0 — exactly what the
+        # serial path's accumulators return for them.
+        "ace": {s: golden_payload["ace"].get(s, 0.0) for s in structures},
+        "occupancy": {s: golden_payload["occupancy"].get(s, 0.0)
+                      for s in structures},
         "epf": {
             "gpu": epf.gpu,
             "workload": epf.workload,

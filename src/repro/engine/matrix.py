@@ -31,8 +31,10 @@ from repro.engine.store import ResultStore
 from repro.kernels.registry import KERNEL_NAMES, get_workload
 from repro.reliability.campaign import CellResult, default_samples, default_scale
 from repro.reliability.epf import RAW_FIT_PER_BIT
+from repro.errors import ConfigError
 from repro.reliability.liveness import AceMode
 from repro.sim.faults import STRUCTURES
+from repro.arch.structures import exposed_structures
 
 #: Live fault plans per FI shard job. Small enough that a 2,000-sample
 #: campaign spreads one cell over many workers; independent of the
@@ -223,14 +225,27 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
     specs: list[JobSpec] = []
     cell_ids: list[str] = []
     for config in gpus:
+        # Per-chip structure subset: a campaign naming a structure the
+        # chip's ISA does not expose (e.g. simt_stack on an EXEC-mask
+        # SI chip) simply skips it there — the cell's fingerprint sees
+        # the filtered tuple, so exposure never aliases across ISAs.
+        cell_structures = exposed_structures(config, structures)
+        if not cell_structures:
+            continue
         for name in workloads:
             roots, cell_id = _cell_jobs(
-                config, name, scale, samples, seed, scheduler, structures,
+                config, name, scale, samples, seed, scheduler,
+                cell_structures,
                 ace_mode, raw_fit_per_bit, shard_size, store, fault_model,
                 checkpoint_interval=checkpoint_interval,
                 inline=workers <= 1)
             specs.extend(roots)
             cell_ids.append(cell_id)
+    if not specs:
+        raise ConfigError(
+            f"no runnable cells: none of the structures "
+            f"{', '.join(structures)} are exposed by the selected GPUs"
+        )
 
     def on_complete(job: JobSpec, payload: dict, cached: bool) -> None:
         if progress is not None and job.kind == jobs.CELL:

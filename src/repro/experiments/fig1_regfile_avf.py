@@ -21,15 +21,21 @@ def run_fig1(samples: int | None = None, scale: str | None = None,
              progress=None, workers: int = 1, store=None,
              shard_size: int | None = None,
              stats=None, fault_model=None,
-             checkpoint_interval=None) -> tuple[list[CellResult], str]:
-    """Run the Fig. 1 campaign; returns (cells, formatted report)."""
+             checkpoint_interval=None,
+             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+    """Run the Fig. 1 campaign; returns (cells, formatted report).
+
+    ``structures`` (the CLI ``--structures`` override) retargets the
+    campaign; the report is then anchored on the first structure given.
+    """
+    structures = tuple(structures) if structures else (REGISTER_FILE,)
     cells = run_matrix(
         gpus=gpus if gpus is not None else list_scaled_gpus(),
         workloads=workloads if workloads is not None else list(KERNEL_NAMES),
         scale=scale,
         samples=samples,
         seed=seed,
-        structures=(REGISTER_FILE,),
+        structures=structures,
         progress=progress,
         workers=workers,
         store=store,
@@ -39,8 +45,10 @@ def run_fig1(samples: int | None = None, scale: str | None = None,
         checkpoint_interval=checkpoint_interval,
     )
     report = format_avf_figure(
-        cells, REGISTER_FILE,
-        "Fig. 1 - Register File AVF (fault injection vs ACE analysis)",
+        cells, structures[0],
+        "Fig. 1 - Register File AVF (fault injection vs ACE analysis)"
+        if structures == (REGISTER_FILE,)
+        else f"Fig. 1 campaign retargeted at {structures[0]}",
     )
     if out_csv:
         write_cells_csv(cells, out_csv)

@@ -30,8 +30,14 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
              progress=None, workers: int = 1, store=None,
              shard_size: int | None = None,
              stats=None, fault_model=None,
-             checkpoint_interval=None) -> tuple[list[CellResult], str]:
-    """Run the Fig. 2 campaign; returns (cells, formatted report)."""
+             checkpoint_interval=None,
+             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+    """Run the Fig. 2 campaign; returns (cells, formatted report).
+
+    ``structures`` (the CLI ``--structures`` override) retargets the
+    campaign; the report is then anchored on the first structure given.
+    """
+    structures = tuple(structures) if structures else (LOCAL_MEMORY,)
     if workloads is None:
         workloads = local_memory_workloads(scale or "small")
     cells = run_matrix(
@@ -40,7 +46,7 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
         scale=scale,
         samples=samples,
         seed=seed,
-        structures=(LOCAL_MEMORY,),
+        structures=structures,
         progress=progress,
         workers=workers,
         store=store,
@@ -50,8 +56,10 @@ def run_fig2(samples: int | None = None, scale: str | None = None,
         checkpoint_interval=checkpoint_interval,
     )
     report = format_avf_figure(
-        cells, LOCAL_MEMORY,
-        "Fig. 2 - Local Memory AVF (fault injection vs ACE analysis)",
+        cells, structures[0],
+        "Fig. 2 - Local Memory AVF (fault injection vs ACE analysis)"
+        if structures == (LOCAL_MEMORY,)
+        else f"Fig. 2 campaign retargeted at {structures[0]}",
     )
     if out_csv:
         write_cells_csv(cells, out_csv)

@@ -22,15 +22,21 @@ def run_fig3(samples: int | None = None, scale: str | None = None,
              progress=None, workers: int = 1, store=None,
              shard_size: int | None = None,
              stats=None, fault_model=None,
-             checkpoint_interval=None) -> tuple[list[CellResult], str]:
-    """Run the Fig. 3 campaign; returns (cells, formatted report)."""
+             checkpoint_interval=None,
+             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+    """Run the Fig. 3 campaign; returns (cells, formatted report).
+
+    ``structures`` (the CLI ``--structures`` override) widens or
+    narrows the structure set whose FIT contributions the EPF sums —
+    adding control structures folds their AVF into FIT_GPU.
+    """
     cells = run_matrix(
         gpus=gpus if gpus is not None else list_scaled_gpus(),
         workloads=workloads if workloads is not None else list(KERNEL_NAMES),
         scale=scale,
         samples=samples,
         seed=seed,
-        structures=STRUCTURES,
+        structures=tuple(structures) if structures else STRUCTURES,
         progress=progress,
         workers=workers,
         store=store,

@@ -1,0 +1,58 @@
+"""Control-structure AVF — per-GPU AVF of the non-datapath fault sites.
+
+Beyond the paper: the same statistical fault-injection methodology,
+aimed at the control/parallelism-management state the follow-on
+literature singles out (Guerrero-Balaguera et al. 2023; dos Santos et
+al., NSREC 2021) — the SIMT reconvergence stack, the predicate/status
+registers (SASS P0..P6; SI SCC/VCC/EXEC), and the warp scheduler's
+ready/barrier bookkeeping. Reported per (benchmark, GPU) with per-GPU
+averages, next to Fig. 1/2's datapath numbers.
+
+Structure exposure is ISA-dependent: ``simt_stack`` exists only on the
+SASS chips (SI manages divergence through EXEC masks), so the AMD chip
+reports ``n/a`` there and real numbers for the other two.
+"""
+
+from __future__ import annotations
+
+from repro.arch.scaling import list_scaled_gpus
+from repro.arch.structures import CONTROL_STRUCTURES
+from repro.kernels.registry import KERNEL_NAMES
+from repro.reliability.campaign import CellResult, run_matrix
+from repro.reliability.report import format_control_avf, write_cells_csv
+
+
+def run_control_avf(samples: int | None = None, scale: str | None = None,
+                    gpus: list | None = None, workloads: list | None = None,
+                    seed: int = 0, out_csv: str | None = None,
+                    progress=None, workers: int = 1, store=None,
+                    shard_size: int | None = None,
+                    stats=None, fault_model=None,
+                    checkpoint_interval=None,
+                    structures: tuple | None = None,
+                    ) -> tuple[list[CellResult], str]:
+    """Run the control-structure campaign; returns (cells, report).
+
+    ``structures`` (default: all three control structures) restricts
+    the target set — the CLI's ``--structures`` flag lands here.
+    """
+    structures = tuple(structures) if structures else CONTROL_STRUCTURES
+    cells = run_matrix(
+        gpus=gpus if gpus is not None else list_scaled_gpus(),
+        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
+        scale=scale,
+        samples=samples,
+        seed=seed,
+        structures=structures,
+        progress=progress,
+        workers=workers,
+        store=store,
+        shard_size=shard_size,
+        stats=stats,
+        fault_model=fault_model,
+        checkpoint_interval=checkpoint_interval,
+    )
+    report = format_control_avf(cells, structures)
+    if out_csv:
+        write_cells_csv(cells, out_csv)
+    return cells, report

@@ -32,6 +32,7 @@ def run_model_compare(samples: int | None = None, scale: str | None = None,
                       fault_model=None,
                       fault_models: list | None = None,
                       checkpoint_interval=None,
+                      structures: tuple | None = None,
                       ) -> tuple[list[CellResult], str]:
     """Run the matrix once per fault model; returns (cells, report).
 
@@ -53,7 +54,7 @@ def run_model_compare(samples: int | None = None, scale: str | None = None,
             scale=scale,
             samples=samples,
             seed=seed,
-            structures=STRUCTURES,
+            structures=tuple(structures) if structures else STRUCTURES,
             progress=progress,
             workers=workers,
             store=store,

@@ -20,6 +20,12 @@ tunes the capture stride, ``--no-checkpoints`` restores the
 simulate-from-cycle-zero behaviour; results are bit-identical either
 way.
 
+The fault-site taxonomy is a campaign axis too: ``--structures``
+retargets any experiment at a subset of the structure registry
+(datapath: register_file, local_memory; control: simt_stack,
+predicate_file, scheduler_state), and the ``control_avf`` experiment
+reports per-GPU control-structure AVF alongside Fig. 1/2.
+
 Examples::
 
     repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
@@ -29,8 +35,11 @@ Examples::
     repro-experiments all --workers 8 --resume results/store.jsonl
     repro-experiments fig1 --checkpoint-interval 500
     repro-experiments fig1 --no-checkpoints
+    repro-experiments control_avf --samples 100
+    repro-experiments control_avf --structures simt_stack,predicate_file
     repro-experiments --list-gpus
     repro-experiments --list-fault-models
+    repro-experiments --list-structures
     python -m repro.experiments all --samples 100
 """
 
@@ -42,11 +51,13 @@ import time
 
 from repro.arch.presets import GPU_ALIASES, GPU_PRESETS
 from repro.arch.scaling import get_scaled_gpu
+from repro.arch.structures import STRUCTURE_REGISTRY, structure_info
 from repro.engine import CampaignStats, ResultStore
 from repro.errors import ConfigError
 from repro.experiments.fig1_regfile_avf import run_fig1
 from repro.experiments.fig2_localmem_avf import run_fig2
 from repro.experiments.fig3_epf import run_fig3
+from repro.experiments.fig_control_avf import run_control_avf
 from repro.experiments.fig_model_compare import run_model_compare
 from repro.faultmodels.registry import FAULT_MODELS, list_fault_models
 from repro.kernels.registry import KERNEL_NAMES, get_workload
@@ -55,6 +66,7 @@ _EXPERIMENTS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
     "fig3": run_fig3,
+    "control_avf": run_control_avf,
     "model_compare": run_model_compare,
 }
 
@@ -82,6 +94,17 @@ def _parse_args(argv):
     parser.add_argument(
         "--list-fault-models", action="store_true",
         help="list the registered fault models and exit",
+    )
+    parser.add_argument(
+        "--list-structures", action="store_true",
+        help="list the fault-site structure registry (geometry, exposing "
+             "ISAs) and exit",
+    )
+    parser.add_argument(
+        "--structures", nargs="+", default=None, metavar="STRUCT",
+        help="retarget the campaign at these structures (space- or "
+             f"comma-separated; registry: {', '.join(STRUCTURE_REGISTRY)}; "
+             "default: each experiment's own set)",
     )
     parser.add_argument(
         "--fault-model", choices=list_fault_models(), default=None,
@@ -169,6 +192,26 @@ def _validate_args(args) -> None:
         )
 
 
+def _parse_structures(values) -> tuple | None:
+    """Normalize --structures (accepts commas) against the registry.
+
+    Every name is validated through the registry, so a typo yields a
+    friendly error naming the valid choices instead of a traceback
+    from deep inside the sampler.
+    """
+    if values is None:
+        return None
+    names = [name for value in values for name in value.split(",") if name]
+    if not names:
+        raise ConfigError(
+            f"--structures needs at least one of: "
+            f"{', '.join(STRUCTURE_REGISTRY)}"
+        )
+    for name in names:
+        structure_info(name)  # raises ConfigError with the valid choices
+    return tuple(dict.fromkeys(names))  # dedupe, keep order
+
+
 def _checkpoint_interval(args):
     """The campaign's checkpoint setting: None (off), 'auto', or cycles."""
     if args.no_checkpoints:
@@ -207,6 +250,13 @@ def _list_fault_models() -> None:
         print(f"{name:<10} [{kind}]  {model.description}")
 
 
+def _list_structures() -> None:
+    for name, info in STRUCTURE_REGISTRY.items():
+        kind = "control " if info.control else "datapath"
+        isas = "+".join(info.isas)
+        print(f"{name:<16} [{kind}] isa: {isas:<8} {info.description}")
+
+
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     if args.list_gpus:
@@ -218,14 +268,19 @@ def main(argv=None) -> int:
     if args.list_fault_models:
         _list_fault_models()
         return 0
+    if args.list_structures:
+        _list_structures()
+        return 0
     if args.experiment is None:
         print("error: an experiment "
               f"({'|'.join(sorted(_EXPERIMENTS))}|all) is required unless "
-              "--list-gpus/--list-workloads/--list-fault-models is given",
+              "--list-gpus/--list-workloads/--list-fault-models/"
+              "--list-structures is given",
               file=sys.stderr)
         return 2
     try:
         _validate_args(args)
+        structures = _parse_structures(args.structures)
         gpus = None
         if args.gpus is not None:
             gpus = [get_scaled_gpu(name) for name in args.gpus]
@@ -255,6 +310,7 @@ def main(argv=None) -> int:
                 stats=stats,
                 fault_model=args.fault_model,
                 checkpoint_interval=_checkpoint_interval(args),
+                structures=structures,
             )
             print(report)
             print()

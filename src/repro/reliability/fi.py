@@ -7,11 +7,15 @@ Campaign flow per (GPU, benchmark, structure):
 2. ``samples`` fault sites are drawn by the campaign's *fault model*
    (:mod:`repro.faultmodels`) uniformly over the whole-chip structure
    x execution duration — transient single-bit flips by default,
-   stuck-at defects or multi-bit upsets on request.
+   stuck-at defects or multi-bit upsets on request. Structures span
+   the full registry (:mod:`repro.arch.structures`): the paper's
+   datapath arrays plus the control structures (SIMT stacks,
+   predicate/status registers, scheduler state).
 3. One more traced golden run resolves every sampled fault as
    provably-dead (classified MASKED without re-simulation) or
    potentially-live, honouring the model's liveness semantics
-   (stuck-at faults survive write-backs).
+   (stuck-at faults survive write-backs; control sites resolve on
+   hardware warp-slot occupancy).
 4. Every live fault is re-simulated with the model's disturbance
    applied at its cycle; the run is classified MASKED / SDC (bit-exact
    output comparison against the golden outputs) / DUE (simulator

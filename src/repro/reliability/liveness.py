@@ -36,6 +36,11 @@ import enum
 import numpy as np
 
 from repro.arch.config import GpuConfig
+from repro.arch.structures import (
+    CONTROL_STRUCTURES,
+    control_words_per_warp,
+    structure_info,
+)
 from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, FaultPlan
 from repro.sim.tracing import TraceSink
 
@@ -158,13 +163,29 @@ class AceAccumulator(TraceSink):
                 bit_cycles = self._reg_word_cycles * 32
         elif structure == LOCAL_MEMORY:
             bit_cycles = self._lmem_word_cycles * 32
+        elif structure in CONTROL_STRUCTURES:
+            # No ACE lifetime model for control state: its AVF is
+            # measured by fault injection only (fig_control_avf).
+            return 0.0
         else:
             raise ValueError(f"unknown structure {structure!r}")
         return min(1.0, bit_cycles / denominator)
 
 
 class FaultSiteResolver(TraceSink):
-    """Classify sampled faults as provably-dead vs potentially-live."""
+    """Classify sampled faults as provably-dead vs potentially-live.
+
+    Datapath sites resolve on word reads/writes. Control-structure
+    sites (SIMT stack, predicate file, scheduler state) resolve on
+    *hardware warp-slot* occupancy: a slot's control storage can only
+    influence execution while a warp occupies it, and slot allocation
+    re-initialises (overwrites) it — so a site is provably dead iff its
+    slot is never occupied at or after the fault cycle. That condition
+    also covers persistent faults: a stuck-at defect in a slot no warp
+    ever occupies again asserts itself against storage nothing reads.
+    Sites in occupied slots stay LIVE conservatively (no per-field
+    lifetime tracking) and are resolved by re-simulation.
+    """
 
     LIVE = "live"
     DEAD = "dead"
@@ -179,12 +200,17 @@ class FaultSiteResolver(TraceSink):
         self.persistent = get_fault_model(fault_model).persistent
         self._pending_reg: dict = {}   # (core,row) -> list[FaultPlan]
         self._pending_lmem: dict = {}  # (core,word) -> list[FaultPlan]
+        self._pending_slot: dict = {}  # (core,slot) -> list[FaultPlan]
         self._lmem_index: dict = {}    # core -> sorted word array
         self.status: dict[FaultPlan, str] = {}
         for plan in plans:
             if plan.structure == REGISTER_FILE:
                 key = (plan.core, plan.word // self.warp_size)
                 self._pending_reg.setdefault(key, []).append(plan)
+            elif structure_info(plan.structure).control:
+                words = control_words_per_warp(config, plan.structure)
+                key = (plan.core, plan.word // words)
+                self._pending_slot.setdefault(key, []).append(plan)
             else:
                 key = (plan.core, plan.word)
                 self._pending_lmem.setdefault(key, []).append(plan)
@@ -231,12 +257,33 @@ class FaultSiteResolver(TraceSink):
             if pending:
                 self._resolve(pending, cycle, is_write, lambda plan: True)
 
+    def on_warp_slot_free(self, cycle, core, slot):
+        """A slot freeing at ``cycle`` was occupied through the issue at
+        ``cycle`` (faults apply before the retiring instruction
+        executes), so every pending control site with fault cycle at or
+        before it saw its slot occupied and must be re-simulated."""
+        pending = self._pending_slot.get((core, slot))
+        if not pending:
+            return
+        for plan in pending[:]:
+            if plan.cycle <= cycle:
+                self.status[plan] = self.LIVE
+                pending.remove(plan)
+
     def on_run_end(self, cycle):
         for pending in self._pending_reg.values():
             for plan in pending:
                 self.status.setdefault(plan, self.DEAD)
             pending.clear()
         for pending in self._pending_lmem.values():
+            for plan in pending:
+                self.status.setdefault(plan, self.DEAD)
+            pending.clear()
+        # Control sites still pending never saw their slot occupied at
+        # or after the fault cycle (blocks all retire before run end),
+        # so the disturbance provably lands in storage that is
+        # re-initialised before any warp state depends on it.
+        for pending in self._pending_slot.values():
             for plan in pending:
                 self.status.setdefault(plan, self.DEAD)
             pending.clear()
@@ -290,6 +337,10 @@ class OccupancyAccumulator(TraceSink):
             used_bit_cycles = self._reg_integral * 32
         elif structure == LOCAL_MEMORY:
             used_bit_cycles = self._lmem_integral * 8
+        elif structure in CONTROL_STRUCTURES:
+            # Control-state occupancy is not block-resource based; it
+            # is not modeled (reported as 0.0 in the figures).
+            return 0.0
         else:
             raise ValueError(f"unknown structure {structure!r}")
         capacity = self.config.structure_bits(structure) * self.total_cycles

@@ -82,17 +82,30 @@ def format_avf_figure(cells: list[CellResult], structure: str,
                 f"{occ:8.3f}  |{bar(fi)}|"
             )
         lines.append("")
-    # Average group (the figures' right-most cluster).
+    # Average group (the figures' right-most cluster). The datapath
+    # structures keep the paper's averaging rules (local-memory
+    # averages span only the local-memory benchmarks, via
+    # average_cell); any other structure averages directly over the
+    # cells that sampled it.
     lines.append(f"{'average':<12}")
     for gpu in order:
         mine = [c for c in cells if _gpu_key(c.gpu) == gpu]
         if not mine:
             continue
-        avg = average_cell(mine, mine[0].gpu)
-        key = "regfile" if structure == REGISTER_FILE else "localmem"
-        fi = avg[f"avf_fi_{key}"]
-        ace = avg[f"avf_ace_{key}"]
-        occ = avg[f"occ_{key}"]
+        if structure in (REGISTER_FILE, LOCAL_MEMORY):
+            avg = average_cell(mine, mine[0].gpu)
+            key = "regfile" if structure == REGISTER_FILE else "localmem"
+            fi = avg[f"avf_fi_{key}"]
+            ace = avg[f"avf_ace_{key}"]
+            occ = avg[f"occ_{key}"]
+        else:
+            having = [c for c in mine if structure in c.fi]
+            if not having:
+                continue
+            fi = sum(c.avf_fi(structure) for c in having) / len(having)
+            ace = sum(c.avf_ace(structure) for c in having) / len(having)
+            occ = sum(c.occupancy.get(structure, 0.0)
+                      for c in having) / len(having)
         lines.append(
             f"{'':<12} {gpu:<16} {fi:8.3f} {ace:8.3f} {occ:8.3f}  |{bar(fi)}|"
         )
@@ -170,6 +183,60 @@ def format_model_compare(cells_by_model: dict) -> str:
         lines.append(
             f"(n = {max(samples)} injections/structure per model; "
             f"models: {', '.join(models)})"
+        )
+    return "\n".join(lines)
+
+
+def format_control_avf(cells: list[CellResult], structures: tuple) -> str:
+    """Control-structure AVF report: per (benchmark, GPU) and averages.
+
+    Structures a chip's ISA does not expose (e.g. ``simt_stack`` on an
+    EXEC-mask SI chip) render as ``n/a`` — the campaign never sampled
+    them there.
+    """
+    grouped = _sorted_cells(cells)
+    order = _gpu_order(cells)
+    title = "Control-structure AVF (fault injection)"
+    lines = [title, "=" * len(title), ""]
+    header = f"{'benchmark':<12} {'GPU':<16} " + " ".join(
+        f"{s:>16}" for s in structures
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def cell_columns(cell) -> str:
+        return " ".join(
+            f"{cell.avf_fi(s):16.3f}" if s in cell.fi else f"{'n/a':>16}"
+            for s in structures
+        )
+
+    for workload, per_gpu in grouped.items():
+        for gpu in order:
+            cell = per_gpu.get(gpu)
+            if cell is None:
+                continue
+            lines.append(f"{workload:<12} {gpu:<16} {cell_columns(cell)}")
+        lines.append("")
+    lines.append(f"{'average':<12}")
+    for gpu in order:
+        mine = [c for c in cells if _gpu_key(c.gpu) == gpu]
+        if not mine:
+            continue
+        columns = []
+        for structure in structures:
+            having = [c for c in mine if structure in c.fi]
+            if not having:
+                columns.append(f"{'n/a':>16}")
+                continue
+            avg = sum(c.avf_fi(structure) for c in having) / len(having)
+            columns.append(f"{avg:16.3f}")
+        lines.append(f"{'':<12} {gpu:<16} " + " ".join(columns))
+    lines.append("")
+    samples = {cell.samples for cell in cells}
+    if samples:
+        lines.append(
+            f"(n = {max(samples)} injections/structure; structures: "
+            f"{', '.join(structures)})"
         )
     return "\n".join(lines)
 

@@ -2,7 +2,15 @@
 
 from repro.sim.gpu import Gpu, default_watchdog_for
 from repro.sim.launch import LaunchConfig, pack_params
-from repro.sim.faults import FaultPlan, LOCAL_MEMORY, REGISTER_FILE, sample_faults
+from repro.sim.faults import (
+    FaultPlan,
+    LOCAL_MEMORY,
+    PREDICATE_FILE,
+    REGISTER_FILE,
+    SCHEDULER_STATE,
+    SIMT_STACK,
+    sample_faults,
+)
 from repro.sim.tracing import CompositeSink, EventRecorder, TraceSink
 
 __all__ = [
@@ -12,6 +20,9 @@ __all__ = [
     "FaultPlan",
     "REGISTER_FILE",
     "LOCAL_MEMORY",
+    "SIMT_STACK",
+    "PREDICATE_FILE",
+    "SCHEDULER_STATE",
     "sample_faults",
     "TraceSink",
     "CompositeSink",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.arch.config import GpuConfig
 from repro.errors import BarrierDeadlock, LaunchError, WatchdogTimeout
 from repro.faultmodels.registry import get_fault_model
+from repro.sim.control import make_control_banks
 from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, FaultPlan
 from repro.sim.launch import LaunchConfig
 from repro.sim.memory import GlobalMemory
@@ -51,6 +52,13 @@ class CoreBase:
             core_id, config.registers_per_core, config.warp_size, sink
         )
         self.lmem = LocalMemory(core_id, config.local_memory_bytes, sink)
+        # Control-structure banks (SIMT stack, predicate file, scheduler
+        # state): (word, bit)-addressable fault targets over the live
+        # warp state. ``_control_dirty`` flags installed stuck-at
+        # overlays so the per-issue re-assert costs nothing without them.
+        self.control = make_control_banks(self)
+        self._control_dirty = False
+        self._free_warp_slots = list(range(config.max_warps_per_core))
         self.time = 0
         self.issue_free = 0
         self.issue_interval = max(
@@ -106,7 +114,17 @@ class CoreBase:
                 self._fault_model.apply(self.regfile, plan)
             elif plan.structure == LOCAL_MEMORY:
                 self._fault_model.apply(self.lmem, plan)
+            else:
+                bank = self.control.get(plan.structure)
+                if bank is not None:
+                    self._fault_model.apply(bank, plan)
             self._fault_pos += 1
+
+    def _reassert_control(self) -> None:
+        """Re-impose control-structure stuck-at overlays (issue boundary)."""
+        for bank in self.control.values():
+            if bank.has_overlays:
+                bank.reassert()
 
     @property
     def pending_faults(self) -> bool:
@@ -159,8 +177,13 @@ class CoreBase:
             "warp_counter": int(self._warp_counter),
             "free_reg_slots": list(self._free_reg_slots),
             "free_lmem_slots": list(self._free_lmem_slots),
+            "free_warp_slots": list(self._free_warp_slots),
             "regfile": self.regfile.snapshot_state(copy=copy),
             "lmem": self.lmem.snapshot_state(copy=copy),
+            "control": {
+                name: bank.snapshot_state()
+                for name, bank in self.control.items()
+            },
             "blocks": [
                 {
                     "linear_id": block.linear_id,
@@ -196,8 +219,14 @@ class CoreBase:
         self._warp_counter = state["warp_counter"]
         self._free_reg_slots = list(state["free_reg_slots"])
         self._free_lmem_slots = list(state["free_lmem_slots"])
+        self._free_warp_slots = list(state["free_warp_slots"])
         self.regfile.restore_state(state["regfile"])
         self.lmem.restore_state(state["lmem"])
+        for name, bank in self.control.items():
+            bank.restore_state(state["control"][name])
+        self._control_dirty = any(
+            bank.has_overlays for bank in self.control.values()
+        )
         self.blocks = []
         self.warps = []
         for bstate in state["blocks"]:
@@ -232,6 +261,9 @@ class CoreBase:
         self.time = start_time
         self.issue_free = start_time
         self.last_issued = -1
+        # All warp contexts are free between launches (every block of
+        # the previous launch has retired by the time the next starts).
+        self._free_warp_slots = list(range(self.config.max_warps_per_core))
         rows_per_block = (
             footprint.reg_words_per_warp // self.config.warp_size
         ) * footprint.warps
@@ -278,10 +310,23 @@ class CoreBase:
             self.lmem.clear_range(lmem_base, footprint.lmem_bytes)
         block = BlockState(linear_id, index, reg_base_row, lmem_base, footprint)
         self._populate_warps(block)
+        if len(self._free_warp_slots) < len(block.warps):
+            raise LaunchError(
+                f"core {self.core_id} has no free warp context slots"
+            )
         self.blocks.append(block)
         for warp in block.warps:
+            # Hardware warp-context slot: backs the warp's control state
+            # (SIMT stack, predicates, scheduler bookkeeping) in the
+            # control-structure fault geometry. Allocation initialises
+            # the slot's storage, so earlier transient disturbances of
+            # an empty slot are dead by construction.
+            warp.hw_slot = self._free_warp_slots.pop(0)
             warp.ready_cycle = self.time
             self.warps.append(warp)
+            if self.sink is not None:
+                self.sink.on_warp_slot_alloc(self.time, self.core_id,
+                                             warp.hw_slot)
         if self.sink is not None:
             self.sink.on_block_alloc(
                 self.time, self.core_id, footprint.reg_words, footprint.lmem_bytes
@@ -296,6 +341,11 @@ class CoreBase:
         self.warps = [warp for warp in self.warps if warp.block is not block]
         self._free_reg_slots.append(block.reg_base_row)
         self._free_lmem_slots.append(block.lmem_base)
+        for warp in block.warps:
+            self._free_warp_slots.append(warp.hw_slot)
+            if self.sink is not None:
+                self.sink.on_warp_slot_free(self.time, self.core_id,
+                                            warp.hw_slot)
         self.blocks_retired += 1
         if self.sink is not None:
             self.sink.on_block_free(
@@ -361,6 +411,8 @@ class CoreBase:
         if t_issue > self.watchdog_limit:
             raise WatchdogTimeout(t_issue, self.watchdog_limit)
         self._apply_faults_up_to(t_issue)
+        if self._control_dirty:
+            self._reassert_control()
         self.time = t_issue
         self.issue_free = t_issue + self.issue_interval
         self.last_issued = warp.wid

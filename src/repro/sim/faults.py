@@ -13,6 +13,13 @@ turns it into a permanent stuck-at-0/1 defect that the storage layer
 re-applies on every subsequent write-back. The defaults (``width=1``,
 ``stuck_value=-1``) encode exactly the paper's transient flip, so
 plans, samplers and stores from the single-bit-flip era are unchanged.
+
+Plans target any structure in the registry
+(:mod:`repro.arch.structures`): the paper's datapath pair
+(``register_file``, ``local_memory``) plus the control structures
+(``simt_stack``, ``predicate_file``, ``scheduler_state``), which the
+per-core :mod:`repro.sim.control` banks translate from (word, bit)
+coordinates into live warp state.
 """
 
 from __future__ import annotations
@@ -22,19 +29,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.arch.config import GpuConfig
+from repro.arch.structures import (
+    ALL_STRUCTURES,
+    CONTROL_STRUCTURES,
+    DATAPATH_STRUCTURES,
+    LOCAL_MEMORY,
+    PREDICATE_FILE,
+    REGISTER_FILE,
+    SCHEDULER_STATE,
+    SIMT_STACK,
+    structure_info,
+)
+from repro.arch.structures import words_per_core as _words_per_core
 from repro.errors import ConfigError
 
-#: Structures the paper injects into.
-REGISTER_FILE = "register_file"
-LOCAL_MEMORY = "local_memory"
-STRUCTURES = (REGISTER_FILE, LOCAL_MEMORY)
+#: The paper's datapath pair — the default campaign structure set.
+#: The full taxonomy (control structures included) is
+#: :data:`repro.arch.structures.ALL_STRUCTURES`.
+STRUCTURES = DATAPATH_STRUCTURES
 
 
 @dataclass(frozen=True)
 class FaultPlan:
     """One scheduled storage disturbance."""
 
-    structure: str   # REGISTER_FILE | LOCAL_MEMORY
+    structure: str   # any repro.arch.structures registry name
     core: int        # SM / CU index
     word: int        # word index within that core's structure
     bit: int         # 0 (LSB) .. 31: the (lowest) disturbed bit
@@ -43,8 +62,7 @@ class FaultPlan:
     stuck_value: int = -1  # -1 = flip; 0/1 = permanent stuck-at value
 
     def __post_init__(self):
-        if self.structure not in STRUCTURES:
-            raise ConfigError(f"unknown structure {self.structure!r}")
+        structure_info(self.structure)  # registry-validated, friendly error
         if not 0 <= self.bit < 32:
             raise ConfigError(f"bit {self.bit} outside 0..31")
         if self.word < 0 or self.core < 0 or self.cycle < 0:
@@ -83,12 +101,12 @@ class FaultPlan:
 
 
 def words_per_core(config: GpuConfig, structure: str) -> int:
-    """Words of the structure per SM/CU."""
-    if structure == REGISTER_FILE:
-        return config.registers_per_core
-    if structure == LOCAL_MEMORY:
-        return config.local_memory_bytes // 4
-    raise ConfigError(f"unknown structure {structure!r}")
+    """Words of the structure per SM/CU (registry geometry).
+
+    Raises :class:`ConfigError` for unknown structures and for
+    structures the chip's ISA does not expose.
+    """
+    return _words_per_core(config, structure)
 
 
 def fault_from_flat(config: GpuConfig, structure: str, bit_index: int,

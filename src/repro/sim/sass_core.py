@@ -12,6 +12,7 @@ import math
 
 import numpy as np
 
+from repro.errors import IllegalInstruction
 from repro.isa.base import Imm, Param, Pred, Reg
 from repro.isa.sass import semantics
 from repro.isa.sass.cfg import immediate_postdominators
@@ -82,6 +83,13 @@ class SassCore(CoreBase):
     def _execute(self, warp: SassWarp, t_issue: int) -> int:
         program = self.program
         pc = warp.stack.pc
+        if not 0 <= pc < len(program):
+            # Only reachable under fault injection (e.g. a flipped
+            # SIMT-stack pc); hardware raises an illegal-address
+            # exception here, which the campaign classifies as DUE.
+            raise IllegalInstruction(
+                f"pc {pc} outside program 0..{len(program) - 1}"
+            )
         inst = program.at(pc)
         info = SASS_OPCODES[inst.opcode]
 

@@ -86,6 +86,12 @@ class SiCore(CoreBase):
     def _execute(self, wave: SiWavefront, t_issue: int) -> int:
         program = self.program
         pc = wave.pc
+        if not 0 <= pc < len(program):
+            # Only reachable under fault injection (corrupted wave pc);
+            # the campaign classifies the exception as DUE.
+            raise IllegalInstruction(
+                f"pc {pc} outside program 0..{len(program) - 1}"
+            )
         inst = program.at(pc)
         info = SI_OPCODES[inst.opcode]
 

@@ -51,6 +51,18 @@ class TraceSink:
                       lmem_bytes: int) -> None:
         """A resident block retired, releasing its resources."""
 
+    def on_warp_slot_alloc(self, cycle: int, core: int, slot: int) -> None:
+        """A hardware warp-context slot became occupied.
+
+        The slot's control state (SIMT stack, predicates, scheduler
+        bookkeeping — see :mod:`repro.sim.control`) is initialised at
+        this point, which is the write-back that kills any earlier
+        transient disturbance of the slot's storage.
+        """
+
+    def on_warp_slot_free(self, cycle: int, core: int, slot: int) -> None:
+        """A hardware warp-context slot was released (block retired)."""
+
     def on_run_end(self, cycle: int) -> None:
         """Simulation finished; ``cycle`` is the final chip time."""
 
@@ -77,6 +89,14 @@ class CompositeSink(TraceSink):
         for sink in self.sinks:
             sink.on_block_free(cycle, core, reg_words, lmem_bytes)
 
+    def on_warp_slot_alloc(self, cycle, core, slot):
+        for sink in self.sinks:
+            sink.on_warp_slot_alloc(cycle, core, slot)
+
+    def on_warp_slot_free(self, cycle, core, slot):
+        for sink in self.sinks:
+            sink.on_warp_slot_free(cycle, core, slot)
+
     def on_run_end(self, cycle):
         for sink in self.sinks:
             sink.on_run_end(cycle)
@@ -89,6 +109,7 @@ class EventRecorder(TraceSink):
         self.reg_events: list[tuple] = []    # (cycle, core, row, mask, is_write)
         self.lmem_events: list[tuple] = []   # (cycle, core, tuple(words), is_write)
         self.block_events: list[tuple] = []  # (cycle, core, reg_words, lmem_bytes, kind)
+        self.warp_slot_events: list[tuple] = []  # (cycle, core, slot, kind)
         self.end_cycle: int | None = None
 
     def on_reg_access(self, cycle, core, row, mask, is_write):
@@ -104,6 +125,12 @@ class EventRecorder(TraceSink):
 
     def on_block_free(self, cycle, core, reg_words, lmem_bytes):
         self.block_events.append((cycle, core, reg_words, lmem_bytes, "free"))
+
+    def on_warp_slot_alloc(self, cycle, core, slot):
+        self.warp_slot_events.append((cycle, core, slot, "alloc"))
+
+    def on_warp_slot_free(self, cycle, core, slot):
+        self.warp_slot_events.append((cycle, core, slot, "free"))
 
     def on_run_end(self, cycle):
         self.end_cycle = cycle

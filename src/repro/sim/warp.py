@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arch.structures import NUM_SASS_PREDICATES
 from repro.bits import mask_lanes
 from repro.sim.simt_stack import SimtStack
 
-#: Number of SASS predicate registers per thread (P0..P6).
-NUM_PREDICATES = 7
+#: Number of SASS predicate registers per thread (P0..P6). Published by
+#: the structure registry so the predicate-file fault geometry and the
+#: warp state can never disagree.
+NUM_PREDICATES = NUM_SASS_PREDICATES
 
 
 class BlockState:
@@ -41,6 +44,10 @@ class WarpBase:
         self.nlanes = nlanes
         self.warp_size = warp_size
         self.reg_base_row = reg_base_row
+        #: Hardware warp-context slot (0 .. max_warps_per_core - 1),
+        #: assigned by the core at block residency — the slot axis of
+        #: the control-structure fault geometry (repro.sim.control).
+        self.hw_slot = -1
         self.ready_cycle = 0
         self.last_issue = -1
         self.at_barrier = False
@@ -60,6 +67,7 @@ class WarpBase:
             "lane_offset": self.lane_offset,
             "nlanes": self.nlanes,
             "reg_base_row": self.reg_base_row,
+            "hw_slot": int(self.hw_slot),
             "ready_cycle": int(self.ready_cycle),
             "last_issue": int(self.last_issue),
             "at_barrier": bool(self.at_barrier),
@@ -67,6 +75,7 @@ class WarpBase:
         }
 
     def _restore_base(self, state: dict) -> None:
+        self.hw_slot = state["hw_slot"]
         self.ready_cycle = state["ready_cycle"]
         self.last_issue = state["last_issue"]
         self.at_barrier = state["at_barrier"]

@@ -35,6 +35,38 @@ class TestNumericValidation:
         assert "Traceback" not in err
 
 
+class TestStructuresFlag:
+    def test_unknown_structure_is_friendly(self, capsys):
+        assert main(["fig1", "--structures", "l2_cache"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "l2_cache" in err and "simt_stack" in err
+        assert "Traceback" not in err
+
+    def test_empty_structures_is_friendly(self, capsys):
+        assert main(["fig1", "--structures", ","]) == 2
+        err = capsys.readouterr().err
+        assert "--structures" in err
+
+    def test_list_structures(self, capsys):
+        assert main(["--list-structures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("register_file", "local_memory", "simt_stack",
+                     "predicate_file", "scheduler_state"):
+            assert name in out
+
+    def test_tiny_control_campaign_runs(self, capsys, tmp_path):
+        argv = ["control_avf", "--samples", "4", "--scale", "tiny",
+                "--gpus", "gtx480",
+                "--structures", "simt_stack,predicate_file,scheduler_state",
+                "--workloads", "vectoradd",
+                "--out", str(tmp_path / "control.csv")]
+        assert main(argv) == 0
+        assert (tmp_path / "control.csv").exists()
+        out = capsys.readouterr().out
+        assert "simt_stack" in out
+
+
 class TestHappyPaths:
     def test_listings_exit_zero(self, capsys):
         assert main(["--list-fault-models"]) == 0
