@@ -9,8 +9,9 @@ re-simulations), i.e. the cost a GUFI/SIFI user would pay.
 from __future__ import annotations
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.arch.structures import REGISTER_FILE
 from repro.engine import clear_memory_cache, run_campaign
-from repro.sim.faults import REGISTER_FILE
+from repro.spec import CampaignSpec
 
 WORKLOADS = ["matrixMul", "reduction", "kmeans"]
 
@@ -21,11 +22,12 @@ def test_fig1_register_file_avf(benchmark, scaled_gpu):
     workloads = bench_workloads(WORKLOADS)
     clear_memory_cache()
 
+    spec = CampaignSpec(gpus=(scaled_gpu,), workloads=tuple(workloads),
+                        scale=scale, samples=samples, seed=1,
+                        structures=(REGISTER_FILE,))
+
     def campaign():
-        return run_campaign(
-            gpus=[scaled_gpu], workloads=workloads, scale=scale,
-            samples=samples, seed=1, structures=(REGISTER_FILE,),
-        ).cells
+        return run_campaign(spec).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.1 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

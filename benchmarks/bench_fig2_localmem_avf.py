@@ -8,8 +8,9 @@ for this structure (unlike Fig. 1).
 from __future__ import annotations
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.arch.structures import LOCAL_MEMORY
 from repro.engine import clear_memory_cache, run_campaign
-from repro.sim.faults import LOCAL_MEMORY
+from repro.spec import CampaignSpec
 
 WORKLOADS = ["matrixMul", "scan", "histogram"]
 
@@ -23,11 +24,12 @@ def test_fig2_local_memory_avf(benchmark, scaled_gpu):
     ]
     clear_memory_cache()
 
+    spec = CampaignSpec(gpus=(scaled_gpu,), workloads=tuple(workloads),
+                        scale=scale, samples=samples, seed=1,
+                        structures=(LOCAL_MEMORY,))
+
     def campaign():
-        return run_campaign(
-            gpus=[scaled_gpu], workloads=workloads, scale=scale,
-            samples=samples, seed=1, structures=(LOCAL_MEMORY,),
-        ).cells
+        return run_campaign(spec).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.2 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

@@ -10,8 +10,9 @@ from __future__ import annotations
 import math
 
 from benchmarks.conftest import bench_samples, bench_scale, bench_workloads
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
 from repro.engine import clear_memory_cache, run_campaign
-from repro.sim.faults import STRUCTURES
+from repro.spec import CampaignSpec
 
 WORKLOADS = ["vectoradd", "matrixMul"]
 
@@ -22,11 +23,12 @@ def test_fig3_epf(benchmark, scaled_gpu):
     workloads = bench_workloads(WORKLOADS)
     clear_memory_cache()
 
+    spec = CampaignSpec(gpus=(scaled_gpu,), workloads=tuple(workloads),
+                        scale=scale, samples=samples, seed=1,
+                        structures=STRUCTURES)
+
     def campaign():
-        return run_campaign(
-            gpus=[scaled_gpu], workloads=workloads, scale=scale,
-            samples=samples, seed=1, structures=STRUCTURES,
-        ).cells
+        return run_campaign(spec).cells
 
     cells = benchmark.pedantic(campaign, rounds=1, iterations=1)
     print(f"\nFig.3 rows — {scaled_gpu.name} (n={samples}/structure, {scale}):")

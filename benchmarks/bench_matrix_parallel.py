@@ -16,8 +16,9 @@ import time
 
 from benchmarks.conftest import bench_samples, bench_scale
 from repro.arch.scaling import get_scaled_gpu
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
 from repro.engine import clear_memory_cache, run_campaign
-from repro.sim.faults import STRUCTURES
+from repro.spec import CampaignSpec
 
 GPUS = ("fx5600", "hd7970")
 WORKLOADS = ["matrixMul", "histogram", "scan"]
@@ -37,20 +38,18 @@ def test_matrix_parallel_speedup(benchmark):
     workers = bench_workers()
     gpus = [get_scaled_gpu(name) for name in GPUS]
 
+    spec = CampaignSpec(gpus=tuple(gpus), workloads=tuple(WORKLOADS),
+                        scale=scale, samples=samples, seed=1,
+                        structures=STRUCTURES)
+
     clear_memory_cache()
     start = time.perf_counter()
-    serial = run_campaign(
-        gpus=gpus, workloads=WORKLOADS, scale=scale, samples=samples,
-        seed=1, structures=STRUCTURES, workers=1,
-    ).cells
+    serial = run_campaign(spec, workers=1).cells
     serial_s = time.perf_counter() - start
 
     def parallel_campaign():
         clear_memory_cache()
-        return run_campaign(
-            gpus=gpus, workloads=WORKLOADS, scale=scale, samples=samples,
-            seed=1, structures=STRUCTURES, workers=workers,
-        ).cells
+        return run_campaign(spec, workers=workers).cells
 
     parallel = benchmark.pedantic(parallel_campaign, rounds=1, iterations=1)
     parallel_s = benchmark.stats.stats.mean

@@ -8,7 +8,7 @@ full `repro-experiments fig1`/`fig2` campaigns.
 Run:  python examples/avf_study.py
 """
 
-from repro import LOCAL_MEMORY, REGISTER_FILE, get_scaled_gpu, run_cell
+from repro import LOCAL_MEMORY, REGISTER_FILE, CampaignSpec, run_matrix
 from repro.reliability.report import format_avf_figure
 
 GPUS = ("hd7970", "gtx480")
@@ -16,14 +16,15 @@ BENCHMARKS = ("matrixMul", "reduction", "histogram")
 
 
 def main() -> None:
-    cells = []
-    for alias in GPUS:
-        config = get_scaled_gpu(alias)
-        for name in BENCHMARKS:
-            print(f"running {config.name} / {name} ...", flush=True)
-            cells.append(
-                run_cell(config, name, scale="small", samples=150, seed=0)
-            )
+    # One declarative spec covers the whole 2x3 slice; run_matrix
+    # shares golden runs and reports cells in matrix order.
+    spec = CampaignSpec(gpus=GPUS, workloads=BENCHMARKS,
+                        scale="small", samples=150, seed=0)
+    cells = run_matrix(
+        spec,
+        progress=lambda cell: print(
+            f"done {cell.gpu} / {cell.workload}", flush=True),
+    )
 
     print()
     print(format_avf_figure(cells, REGISTER_FILE,

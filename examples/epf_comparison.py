@@ -8,19 +8,20 @@ finishing executions faster. Run on vectoradd for a quick demo.
 Run:  python examples/epf_comparison.py
 """
 
-from repro import LOCAL_MEMORY, REGISTER_FILE, list_scaled_gpus, run_cell
+from repro import LOCAL_MEMORY, REGISTER_FILE, CampaignSpec, run_matrix
 from repro.reliability.report import format_epf_figure
 
 BENCHMARK = "vectoradd"
 
 
 def main() -> None:
-    cells = []
-    for config in list_scaled_gpus():
-        print(f"running {config.name} / {BENCHMARK} ...", flush=True)
-        cells.append(
-            run_cell(config, BENCHMARK, scale="small", samples=150, seed=0)
-        )
+    # gpus left unset = all four scaled chips, in figure order.
+    spec = CampaignSpec(workloads=(BENCHMARK,), scale="small",
+                        samples=150, seed=0)
+    cells = run_matrix(
+        spec,
+        progress=lambda cell: print(f"done {cell.gpu}", flush=True),
+    )
 
     print()
     print(format_epf_figure(cells, f"EPF on {BENCHMARK} (mini Fig. 3)"))

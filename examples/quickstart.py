@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 from repro import (
     LOCAL_MEMORY,
     REGISTER_FILE,
+    CampaignSpec,
     Gpu,
     get_scaled_gpu,
     get_workload,
@@ -36,8 +37,13 @@ def main() -> None:
           f"{'PASS' if not problems else problems}")
 
     # --- 2. reliability cell --------------------------------------------
+    # Campaigns are described by one declarative spec object; the same
+    # spec could be saved with spec.to_file("quickstart.toml") and run
+    # via `repro-experiments run quickstart.toml`.
     print("\nRunning FI + ACE campaign (200 injections/structure)...")
-    cell = run_cell(config, "matrixMul", scale="small", samples=200, seed=0)
+    spec = CampaignSpec(gpus=("gtx480",), workloads=("matrixMul",),
+                        scale="small", samples=200, seed=0)
+    cell = run_cell(spec)
     for structure in (REGISTER_FILE, LOCAL_MEMORY):
         estimate = cell.fi[structure]
         print(f"  {structure:<14} AVF-FI={estimate.avf:6.3f} "

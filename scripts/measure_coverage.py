@@ -19,6 +19,7 @@ measurement into chunks and merge::
 
 from __future__ import annotations
 
+import os
 import pickle
 import sys
 import sysconfig
@@ -27,6 +28,32 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
+
+
+class _PathIgnore:
+    """Filename-keyed replacement for ``trace._Ignore``.
+
+    The stdlib ``_Ignore`` caches its per-module verdict by *bare
+    module name*, so once any ignored-directory module named e.g.
+    ``report`` or ``runner`` or ``__init__`` is seen (scipy ships a
+    ``report.py``, pytest a ``runner.py``, every package an
+    ``__init__.py``), all same-named files in ``src/repro`` are
+    silently dropped from the measurement — deflating the total by
+    several points. Keying the cache by filename keeps the
+    performance win of skipping the stdlib without the collisions.
+    """
+
+    def __init__(self, dirs):
+        self._dirs = tuple(os.path.normpath(d) + os.sep for d in dirs)
+        self._cache: dict = {}
+
+    def names(self, filename, modulename) -> int:
+        verdict = self._cache.get(filename)
+        if verdict is None:
+            verdict = self._cache[filename] = int(
+                filename is None
+                or filename.startswith(self._dirs))
+        return verdict
 
 
 def report(hit_by_file: dict) -> int:
@@ -71,6 +98,7 @@ def main(argv: list[str]) -> int:
         for key in ("stdlib", "platstdlib", "purelib", "platlib")
     })
     tracer = trace.Trace(count=1, trace=0, ignoredirs=ignore_dirs)
+    tracer.ignore = _PathIgnore(ignore_dirs)  # see _PathIgnore
 
     import pytest
     rc = tracer.runfunc(pytest.main, argv or ["-q", "-p", "no:cacheprovider"])

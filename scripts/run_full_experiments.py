@@ -1,13 +1,16 @@
 """Run the complete evaluation matrix once and emit every figure.
 
-Fig. 1, Fig. 2 and Fig. 3 share the same (GPU x benchmark) cells, so a
-single matrix run with both datapath structures regenerates them; a
-second matrix run (sharing the golden jobs through the same store)
-adds the control-structure AVF report. This is what EXPERIMENTS.md
-records. The campaign runs on the job-graph engine
-with a persistent result store in the output directory: a run killed
+The campaigns are the two checked-in spec files —
+``examples/specs/full_datapath.toml`` (Fig. 1/2/3 share its cells)
+and ``examples/specs/full_control.toml`` (the control-structure AVF
+report) — so the full-paper reproduction is exactly reproducible from
+versioned artifacts; the CLI arguments below only *override* the
+specs' samples/scale for resized runs. Both campaigns run on the
+job-graph engine against one persistent result store in the output
+directory: golden runs are shared by fingerprint, a run killed
 half-way resumes from its finished jobs on the next invocation, and a
-re-run of a complete campaign executes nothing. Usage::
+re-run of a complete campaign executes nothing. This is what
+EXPERIMENTS.md records. Usage::
 
     python scripts/run_full_experiments.py [samples] [scale] [outdir] [workers]
 """
@@ -17,9 +20,9 @@ from __future__ import annotations
 import json
 import sys
 import time
+from pathlib import Path
 
-from repro.arch.scaling import list_scaled_gpus
-from repro.arch.structures import CONTROL_STRUCTURES
+from repro.arch.structures import LOCAL_MEMORY, REGISTER_FILE
 from repro.engine import CampaignStats, run_campaign
 from repro.reliability.report import (
     format_ace_vs_fi,
@@ -28,16 +31,25 @@ from repro.reliability.report import (
     format_epf_figure,
     write_cells_csv,
 )
-from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
+from repro.spec import CampaignSpec
+
+SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+DATAPATH_SPEC = SPEC_DIR / "full_datapath.toml"
+CONTROL_SPEC = SPEC_DIR / "full_control.toml"
 
 
 def main() -> int:
-    samples = int(sys.argv[1]) if len(sys.argv) > 1 else 250
-    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
     outdir = sys.argv[3] if len(sys.argv) > 3 else "results"
     workers = int(sys.argv[4]) if len(sys.argv) > 4 else 1
 
-    from pathlib import Path
+    overrides = {}
+    if len(sys.argv) > 1:
+        overrides["samples"] = int(sys.argv[1])
+    if len(sys.argv) > 2:
+        overrides["scale"] = sys.argv[2]
+    spec = CampaignSpec.from_file(DATAPATH_SPEC).replace(**overrides)
+    control_spec = CampaignSpec.from_file(CONTROL_SPEC).replace(**overrides)
+
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -55,18 +67,11 @@ def main() -> int:
 
     stats = CampaignStats()
     result = run_campaign(
-        gpus=list_scaled_gpus(),
-        scale=scale,
-        samples=samples,
-        seed=1,
-        structures=(REGISTER_FILE, LOCAL_MEMORY),
+        spec,
         workers=workers,
         store=out / "store.jsonl",
         progress=progress,
         stats=stats,
-        # Suffix-only FI from golden-run snapshots (bit-identical; see
-        # README "Campaign acceleration").
-        checkpoint_interval="auto",
     )
     cells = result.cells
     print(stats.summary(), flush=True)
@@ -83,23 +88,27 @@ def main() -> int:
     fig3 = format_epf_figure(cells)
     ace = format_ace_vs_fi(cells)
 
-    # Control-structure AVF: a second matrix over the same store (the
-    # golden jobs are shared by fingerprint, so only plan/shard/cell
-    # jobs for the control sites execute).
+    # Control-structure AVF: the companion spec over the same store
+    # (the golden jobs are shared by fingerprint, so only plan/shard/
+    # cell jobs for the control sites execute).
+    def control_progress(cell):
+        print(
+            f"[{time.time() - start:7.1f}s] {cell.gpu:<26} "
+            f"{cell.workload:<12} cycles={cell.cycles:<8} "
+            f"[control structures]",
+            flush=True,
+        )
+
     control_result = run_campaign(
-        gpus=list_scaled_gpus(),
-        scale=scale,
-        samples=samples,
-        seed=1,
-        structures=CONTROL_STRUCTURES,
+        control_spec,
         workers=workers,
         store=out / "store.jsonl",
-        progress=progress,
+        progress=control_progress,
         stats=stats,
-        checkpoint_interval="auto",
     )
     write_cells_csv(control_result.cells, out / "cells_control.csv")
-    control = format_control_avf(control_result.cells, CONTROL_STRUCTURES)
+    control = format_control_avf(
+        control_result.cells, control_spec.resolved_structures())
 
     for name, text in (("fig1.txt", fig1), ("fig2.txt", fig2),
                        ("fig3.txt", fig3), ("ace_vs_fi.txt", ace),
@@ -108,9 +117,10 @@ def main() -> int:
         print("\n" + text, flush=True)
 
     meta = {
-        "samples": samples,
-        "scale": scale,
-        "seed": 1,
+        "specs": [str(DATAPATH_SPEC), str(CONTROL_SPEC)],
+        "samples": spec.resolved_samples(),
+        "scale": spec.resolved_scale(),
+        "seed": spec.seed,
         "workers": workers,
         "wall_time_s": round(time.time() - start, 1),
         "cells": len(cells),

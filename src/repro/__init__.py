@@ -7,14 +7,20 @@ simulators (SASS-level NVIDIA SMs and Southern-Islands AMD CUs), a
 ten-benchmark cross-vendor suite, statistical fault injection, ACE
 lifetime analysis, occupancy measurement and the EPF combined metric.
 
-Quickstart::
+Quickstart — campaigns are described by one declarative, serializable
+:class:`~repro.spec.CampaignSpec`::
 
-    from repro import get_scaled_gpu, get_workload, run_cell
+    from repro import CampaignSpec, run_cell
 
-    cell = run_cell(get_scaled_gpu("gtx480"), "matrixMul",
-                    scale="small", samples=200)
+    spec = CampaignSpec(gpus=("gtx480",), workloads=("matrixMul",),
+                        scale="small", samples=200)
+    cell = run_cell(spec)
     print(cell.avf_fi("register_file"), cell.avf_ace("register_file"))
     print(cell.epf.epf)
+
+    spec.to_file("campaign.toml")       # repro-experiments run campaign.toml
+    children = spec.sweep(fault_model=["transient", "stuck_at"],
+                          seed=range(3))   # one spec, many axes
 """
 
 from repro.arch import (
@@ -99,6 +105,13 @@ from repro.sim import (
     pack_params,
     sample_faults,
 )
+from repro.spec import (
+    CampaignSpec,
+    SPEC_FIELDS,
+    SweepResult,
+    expand_sweep,
+    run_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -121,6 +134,9 @@ __all__ = [
     "KERNEL_NAMES", "Workload", "RunResult",
     "get_workload", "list_workloads", "run_workload",
     "verify_against_reference",
+    # declarative campaign specs + sweeps
+    "CampaignSpec", "SPEC_FIELDS", "SweepResult",
+    "expand_sweep", "run_sweep",
     # campaign engine
     "run_campaign", "CampaignResult", "CampaignStats", "ResultStore",
     # checkpointing

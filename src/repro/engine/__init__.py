@@ -26,6 +26,8 @@ from repro.engine.fingerprint import (
 from repro.engine.matrix import (
     DEFAULT_SHARD_SIZE,
     CampaignResult,
+    cell_fingerprints,
+    iter_cells,
     run_campaign,
 )
 from repro.engine.scheduler import (
@@ -44,7 +46,9 @@ __all__ = [
     "JobSpec",
     "ResultStore",
     "canonical_json",
+    "cell_fingerprints",
     "cell_params",
+    "iter_cells",
     "clear_memory_cache",
     "config_params",
     "fingerprint",

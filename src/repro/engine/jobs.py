@@ -38,7 +38,8 @@ from repro.reliability.epf import EpfResult, compute_epf
 from repro.reliability.fi import AvfEstimate, resimulate_plan, run_golden
 from repro.reliability.liveness import AceMode, FaultSiteResolver
 from repro.reliability.outcomes import Outcome
-from repro.sim.faults import STRUCTURES, FaultPlan
+from repro.arch.structures import DATAPATH_STRUCTURES
+from repro.sim.faults import FaultPlan
 from repro.sim.gpu import Gpu
 
 GOLDEN, PLAN, SHARD, CELL = "golden", "plan", "shard", "cell"
@@ -98,8 +99,9 @@ def run_golden_job(args: tuple) -> dict:
     payload = {
         "cycles": golden.cycles,
         "launch_cycles": [int(c) for c in golden.launch_cycles],
-        "ace": {s: golden.ace.avf(s) for s in STRUCTURES},
-        "occupancy": {s: golden.occupancy.occupancy(s) for s in STRUCTURES},
+        "ace": {s: golden.ace.avf(s) for s in DATAPATH_STRUCTURES},
+        "occupancy": {s: golden.occupancy.occupancy(s)
+                      for s in DATAPATH_STRUCTURES},
         "wall_time_s": golden.wall_time_s,
         "outputs": encode_outputs(golden.outputs),
     }

@@ -1,14 +1,17 @@
 """Matrix campaigns on the job-graph engine.
 
-:func:`run_campaign` decomposes the (GPU x benchmark) evaluation matrix
-into golden -> plan -> shard -> cell jobs, schedules them across a
-process pool so *cells* run concurrently (not just one cell's
-re-simulations), caches golden runs by (gpu, workload, scale,
+:func:`run_campaign` consumes one declarative
+:class:`repro.spec.CampaignSpec` and decomposes its (GPU x benchmark)
+evaluation matrix into golden -> plan -> shard -> cell jobs, schedules
+them across a process pool so *cells* run concurrently (not just one
+cell's re-simulations), caches golden runs by (gpu, workload, scale,
 scheduler, ace_mode), and records every finished job in a persistent
 :class:`~repro.engine.store.ResultStore` — making interrupted campaigns
 resumable and repeated invocations incremental. Results are
 bit-identical to the serial ``run_cell`` loop for any worker count and
-any shard size.
+any shard size; spec fields map one-to-one onto the job fingerprint
+parameters (:func:`cell_fingerprints`), so stores from the kwarg era
+resume with zero jobs executed.
 """
 
 from __future__ import annotations
@@ -28,12 +31,10 @@ from repro.engine.fingerprint import (
 )
 from repro.engine.scheduler import CampaignStats, JobScheduler, JobSpec
 from repro.engine.store import ResultStore
-from repro.kernels.registry import KERNEL_NAMES, get_workload
-from repro.reliability.campaign import CellResult, default_samples, default_scale
-from repro.reliability.epf import RAW_FIT_PER_BIT
+from repro.kernels.registry import get_workload
+from repro.reliability.campaign import CellResult
 from repro.errors import ConfigError
 from repro.reliability.liveness import AceMode
-from repro.sim.faults import STRUCTURES
 from repro.arch.structures import exposed_structures
 
 #: Live fault plans per FI shard job. Small enough that a 2,000-sample
@@ -174,49 +175,97 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
     return [golden_job, plan_job], cell_fp
 
 
-def run_campaign(gpus: list | None = None, workloads: list | None = None,
-                 scale: str | None = None, samples: int | None = None,
-                 seed: int = 0, scheduler: str = "rr",
-                 structures: tuple = STRUCTURES,
-                 ace_mode: AceMode = AceMode.CONSERVATIVE,
-                 raw_fit_per_bit: float = RAW_FIT_PER_BIT,
-                 shard_size: int | None = None, workers: int = 1,
-                 store: ResultStore | str | Path | None = None,
-                 progress=None,
+def iter_cells(spec):
+    """(config, workload, exposed structure subset) per runnable cell.
+
+    Per-chip structure subset: a campaign naming a structure the
+    chip's ISA does not expose (e.g. simt_stack on an EXEC-mask SI
+    chip) simply skips it there — the cell's fingerprint sees the
+    filtered tuple, so exposure never aliases across ISAs.
+    """
+    structures = spec.resolved_structures()
+    for config in spec.resolved_gpus():
+        cell_structures = exposed_structures(config, structures)
+        if not cell_structures:
+            continue
+        for name in spec.resolved_workloads():
+            yield config, name, cell_structures
+
+
+def cell_fingerprints(spec) -> dict:
+    """(gpu name, workload) -> cell fingerprint, without executing.
+
+    Spec fields map one-to-one onto the golden/plan/cell fingerprint
+    parameters, so this is exactly the set of cell records a finished
+    run of ``spec`` leaves in a store — usable to check resumability
+    (every fingerprint present means a re-run executes zero jobs).
+    """
+    out = {}
+    for config, name, cell_structures in iter_cells(spec):
+        golden_fp = fingerprint(
+            jobs.GOLDEN,
+            golden_params(config, name, spec.resolved_scale(),
+                          spec.scheduler, spec.ace_mode))
+        plan_fp = fingerprint(
+            jobs.PLAN,
+            plan_params(golden_fp, spec.resolved_samples(), spec.seed,
+                        cell_structures, spec.fault_model))
+        out[(config.name, name)] = fingerprint(
+            jobs.CELL,
+            cell_params(plan_fp, spec.raw_fit_per_bit,
+                        checkpoint=spec.checkpoint_interval))
+    return out
+
+
+def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
+                 workers: int = 1, progress=None,
                  stats: CampaignStats | None = None,
-                 fault_model=None,
-                 checkpoint_interval=None) -> CampaignResult:
-    """Run (or resume) the full evaluation matrix on the job engine.
+                 **legacy) -> CampaignResult:
+    """Run (or resume) an evaluation matrix on the job engine.
+
+    Preferred form: ``run_campaign(spec, store=..., workers=...)``
+    with a :class:`repro.spec.CampaignSpec`. The legacy kwarg form
+    (``gpus=``, ``workloads=``, ``samples=``, ...) builds a spec
+    internally, emits a :class:`DeprecationWarning`, and produces
+    bit-identical results — including the legacy default of running
+    the *full-size* presets when no ``gpus`` are named (a bare spec
+    defaults to the scaled presets, like the CLI and harnesses).
 
     ``store`` — a :class:`ResultStore` or a path to one — makes the
     campaign persistent: killed runs resume without re-executing any
-    finished job, and identical re-invocations execute nothing.
-    ``workers`` sizes the process pool (1 = inline/serial); cells and
-    their FI shards are scheduled concurrently either way, and results
-    are identical for every setting. ``fault_model`` (registry name or
-    :class:`~repro.faultmodels.FaultModel`; default transient) is part
-    of every plan/shard/cell fingerprint, so campaigns with different
-    models share golden runs but never collide on results.
+    finished job, and identical re-invocations execute nothing. Spec
+    fields map onto the same golden/plan/shard/cell fingerprints the
+    kwarg era wrote, so pre-spec stores resume with zero jobs
+    executed. ``workers`` sizes the process pool (1 = inline/serial);
+    cells and their FI shards are scheduled concurrently either way,
+    and results are identical for every setting. The spec's
+    ``fault_model`` is part of every plan/shard/cell fingerprint, so
+    campaigns with different models share golden runs but never
+    collide on results.
 
-    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) makes
-    golden jobs capture machine snapshots that the cell's FI shards
-    restore, simulating only each fault's suffix with the early-exit
-    convergence check (:mod:`repro.checkpoint`). Golden/plan/shard
-    results are bit-identical with or without it; the interval joins
-    only the *cell* fingerprint (omitted when off), so pre-checkpoint
-    stores still resume and a checkpointed resume of one reuses every
-    simulation job.
+    The spec's ``checkpoint_interval`` (None, ``"auto"``, or a cycle
+    count) makes golden jobs capture machine snapshots that the cell's
+    FI shards restore, simulating only each fault's suffix with the
+    early-exit convergence check (:mod:`repro.checkpoint`).
+    Golden/plan/shard results are bit-identical with or without it;
+    the interval joins only the *cell* fingerprint (omitted when off),
+    so pre-checkpoint stores still resume and a checkpointed resume of
+    one reuses every simulation job.
     """
-    from repro.faultmodels.registry import fault_model_name
-    gpus = gpus if gpus is not None else list_gpus()
-    workloads = list(workloads) if workloads is not None else list(KERNEL_NAMES)
-    scale = scale or default_scale()
-    samples = samples if samples is not None else default_samples()
-    shard_size = shard_size or DEFAULT_SHARD_SIZE
-    fault_model = fault_model_name(fault_model)
-    if checkpoint_interval is not None:
-        from repro.checkpoint import resolve_interval
-        resolve_interval(checkpoint_interval)  # validate early
+    from repro.spec import coerce_spec
+    # The kwarg era defaulted to the full-size presets here (the
+    # harnesses passed the scaled ones explicitly); coerce_spec keeps
+    # that default for every spec-less call — including a bare
+    # run_campaign() — so shimmed results stay bit-identical and old
+    # stores resume. A bare CampaignSpec() resolves to the scaled
+    # presets instead.
+    spec = coerce_spec(spec, legacy, who="run_campaign",
+                       legacy_defaults={"gpus": list_gpus})
+
+    scale = spec.resolved_scale()
+    samples = spec.resolved_samples()
+    shard_size = spec.resolved_shard_size()
+    checkpoint_interval = spec.checkpoint_interval
     own_store = isinstance(store, (str, Path))
     if own_store:
         store = ResultStore(store)
@@ -224,27 +273,21 @@ def run_campaign(gpus: list | None = None, workloads: list | None = None,
 
     specs: list[JobSpec] = []
     cell_ids: list[str] = []
-    for config in gpus:
-        # Per-chip structure subset: a campaign naming a structure the
-        # chip's ISA does not expose (e.g. simt_stack on an EXEC-mask
-        # SI chip) simply skips it there — the cell's fingerprint sees
-        # the filtered tuple, so exposure never aliases across ISAs.
-        cell_structures = exposed_structures(config, structures)
-        if not cell_structures:
-            continue
-        for name in workloads:
-            roots, cell_id = _cell_jobs(
-                config, name, scale, samples, seed, scheduler,
-                cell_structures,
-                ace_mode, raw_fit_per_bit, shard_size, store, fault_model,
-                checkpoint_interval=checkpoint_interval,
-                inline=workers <= 1)
-            specs.extend(roots)
-            cell_ids.append(cell_id)
+    for config, name, cell_structures in iter_cells(spec):
+        roots, cell_id = _cell_jobs(
+            config, name, scale, samples, spec.seed, spec.scheduler,
+            cell_structures,
+            spec.ace_mode, spec.raw_fit_per_bit, shard_size, store,
+            spec.fault_model,
+            checkpoint_interval=checkpoint_interval,
+            inline=workers <= 1)
+        specs.extend(roots)
+        cell_ids.append(cell_id)
     if not specs:
         raise ConfigError(
             f"no runnable cells: none of the structures "
-            f"{', '.join(structures)} are exposed by the selected GPUs"
+            f"{', '.join(spec.resolved_structures())} are exposed by the "
+            f"selected GPUs"
         )
 
     def on_complete(job: JobSpec, payload: dict, cached: bool) -> None:

@@ -101,6 +101,17 @@ class CampaignStats:
             self.executed += 1
             bucket["executed"] += 1
 
+    def merge(self, other: "CampaignStats") -> None:
+        """Fold another campaign's accounting into this one (sweeps)."""
+        self.total += other.total
+        self.cached += other.cached
+        self.executed += other.executed
+        for kind, counts in other.by_kind.items():
+            bucket = self.by_kind.setdefault(
+                kind, {"cached": 0, "executed": 0})
+            for key, value in counts.items():
+                bucket[key] = bucket.get(key, 0) + value
+
     def summary(self) -> str:
         detail = ", ".join(
             f"{kind}={counts['cached']}+{counts['executed']}"

@@ -6,10 +6,19 @@
 * :mod:`repro.experiments.fig_model_compare` — beyond the paper:
   per-GPU AVF by fault model (transient / stuck_at / mbu)
 
+Every harness consumes one declarative
+:class:`repro.spec.CampaignSpec` (``run_fig1(spec, workers=...,
+store=...)``); the pre-spec kwarg call pattern still works as a
+deprecated shim.
+
 CLI: ``python -m repro.experiments
-<fig1|fig2|fig3|model_compare|all> [options]`` or the installed
-``repro-experiments`` entry point. Campaigns run on the job-graph
-execution engine (:mod:`repro.engine`); the most useful flags:
+<fig1|fig2|fig3|control_avf|model_compare|all> [options]`` or the
+installed ``repro-experiments`` entry point, plus the spec-file
+subcommands ``run SPEC [--set key=value]`` and ``sweep SPEC --axis
+key=v1,v2`` (one checked-in TOML/JSON artifact, executed or expanded
+into an axis-product of campaigns on a shared store). Campaigns run
+on the job-graph execution engine (:mod:`repro.engine`); the most
+useful flags:
 
 * ``--samples N`` / ``--scale tiny|small|default`` — campaign size
   (paper scale: 2000 samples, default inputs);

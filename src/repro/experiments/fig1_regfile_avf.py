@@ -8,47 +8,34 @@ occupancy, and ACE overestimating FI on the register file.
 
 from __future__ import annotations
 
-from repro.arch.scaling import list_scaled_gpus
-from repro.kernels.registry import KERNEL_NAMES
+from repro.arch.structures import REGISTER_FILE
 from repro.reliability.campaign import CellResult, run_matrix
 from repro.reliability.report import format_avf_figure, write_cells_csv
-from repro.sim.faults import REGISTER_FILE
+from repro.spec import coerce_spec
 
 
-def run_fig1(samples: int | None = None, scale: str | None = None,
-             gpus: list | None = None, workloads: list | None = None,
-             seed: int = 0, out_csv: str | None = None,
-             progress=None, workers: int = 1, store=None,
-             shard_size: int | None = None,
-             stats=None, fault_model=None,
-             checkpoint_interval=None,
-             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+def run_fig1(spec=None, *, out_csv: str | None = None, progress=None,
+             workers: int = 1, store=None, stats=None,
+             **legacy) -> tuple[list[CellResult], str]:
     """Run the Fig. 1 campaign; returns (cells, formatted report).
 
-    ``structures`` (the CLI ``--structures`` override) retargets the
-    campaign; the report is then anchored on the first structure given.
+    ``spec`` is a :class:`repro.spec.CampaignSpec`; fields left unset
+    take this figure's defaults (all scaled chips, the full suite,
+    ``structures=(register_file,)``). An explicit ``structures``
+    retargets the campaign; the report is then anchored on the first
+    structure given. The legacy kwarg form builds the spec internally
+    with a :class:`DeprecationWarning`.
     """
-    structures = tuple(structures) if structures else (REGISTER_FILE,)
-    cells = run_matrix(
-        gpus=gpus if gpus is not None else list_scaled_gpus(),
-        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
-        scale=scale,
-        samples=samples,
-        seed=seed,
-        structures=structures,
-        progress=progress,
-        workers=workers,
-        store=store,
-        shard_size=shard_size,
-        stats=stats,
-        fault_model=fault_model,
-        checkpoint_interval=checkpoint_interval,
-    )
+    spec = coerce_spec(spec, legacy, who="run_fig1")
+    if spec.structures is None:
+        spec = spec.replace(structures=(REGISTER_FILE,))
+    cells = run_matrix(spec, progress=progress, workers=workers,
+                       store=store, stats=stats)
     report = format_avf_figure(
-        cells, structures[0],
+        cells, spec.structures[0],
         "Fig. 1 - Register File AVF (fault injection vs ACE analysis)"
-        if structures == (REGISTER_FILE,)
-        else f"Fig. 1 campaign retargeted at {structures[0]}",
+        if spec.structures == (REGISTER_FILE,)
+        else f"Fig. 1 campaign retargeted at {spec.structures[0]}",
     )
     if out_csv:
         write_cells_csv(cells, out_csv)

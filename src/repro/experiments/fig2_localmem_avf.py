@@ -9,11 +9,11 @@ for this structure (unlike the register file).
 
 from __future__ import annotations
 
-from repro.arch.scaling import list_scaled_gpus
+from repro.arch.structures import LOCAL_MEMORY
 from repro.kernels.registry import KERNEL_NAMES, get_workload
 from repro.reliability.campaign import CellResult, run_matrix
 from repro.reliability.report import format_avf_figure, write_cells_csv
-from repro.sim.faults import LOCAL_MEMORY
+from repro.spec import coerce_spec
 
 
 def local_memory_workloads(scale: str = "small") -> list:
@@ -24,42 +24,31 @@ def local_memory_workloads(scale: str = "small") -> list:
     ]
 
 
-def run_fig2(samples: int | None = None, scale: str | None = None,
-             gpus: list | None = None, workloads: list | None = None,
-             seed: int = 0, out_csv: str | None = None,
-             progress=None, workers: int = 1, store=None,
-             shard_size: int | None = None,
-             stats=None, fault_model=None,
-             checkpoint_interval=None,
-             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+def run_fig2(spec=None, *, out_csv: str | None = None, progress=None,
+             workers: int = 1, store=None, stats=None,
+             **legacy) -> tuple[list[CellResult], str]:
     """Run the Fig. 2 campaign; returns (cells, formatted report).
 
-    ``structures`` (the CLI ``--structures`` override) retargets the
-    campaign; the report is then anchored on the first structure given.
+    Spec fields left unset take this figure's defaults:
+    ``structures=(local_memory,)`` and the local-memory benchmark
+    subset. An explicit ``structures`` retargets the campaign; the
+    report is then anchored on the first structure given. The legacy
+    kwarg form builds the spec internally with a
+    :class:`DeprecationWarning`.
     """
-    structures = tuple(structures) if structures else (LOCAL_MEMORY,)
-    if workloads is None:
-        workloads = local_memory_workloads(scale or "small")
-    cells = run_matrix(
-        gpus=gpus if gpus is not None else list_scaled_gpus(),
-        workloads=workloads,
-        scale=scale,
-        samples=samples,
-        seed=seed,
-        structures=structures,
-        progress=progress,
-        workers=workers,
-        store=store,
-        shard_size=shard_size,
-        stats=stats,
-        fault_model=fault_model,
-        checkpoint_interval=checkpoint_interval,
-    )
+    spec = coerce_spec(spec, legacy, who="run_fig2")
+    if spec.structures is None:
+        spec = spec.replace(structures=(LOCAL_MEMORY,))
+    if spec.workloads is None:
+        spec = spec.replace(
+            workloads=tuple(local_memory_workloads(spec.resolved_scale())))
+    cells = run_matrix(spec, progress=progress, workers=workers,
+                       store=store, stats=stats)
     report = format_avf_figure(
-        cells, structures[0],
+        cells, spec.structures[0],
         "Fig. 2 - Local Memory AVF (fault injection vs ACE analysis)"
-        if structures == (LOCAL_MEMORY,)
-        else f"Fig. 2 campaign retargeted at {structures[0]}",
+        if spec.structures == (LOCAL_MEMORY,)
+        else f"Fig. 2 campaign retargeted at {spec.structures[0]}",
     )
     if out_csv:
         write_cells_csv(cells, out_csv)

@@ -9,42 +9,25 @@ benchmarks is the reproduction target.
 
 from __future__ import annotations
 
-from repro.arch.scaling import list_scaled_gpus
-from repro.kernels.registry import KERNEL_NAMES
 from repro.reliability.campaign import CellResult, run_matrix
 from repro.reliability.report import format_epf_figure, write_cells_csv
-from repro.sim.faults import STRUCTURES
+from repro.spec import coerce_spec
 
 
-def run_fig3(samples: int | None = None, scale: str | None = None,
-             gpus: list | None = None, workloads: list | None = None,
-             seed: int = 0, out_csv: str | None = None,
-             progress=None, workers: int = 1, store=None,
-             shard_size: int | None = None,
-             stats=None, fault_model=None,
-             checkpoint_interval=None,
-             structures: tuple | None = None) -> tuple[list[CellResult], str]:
+def run_fig3(spec=None, *, out_csv: str | None = None, progress=None,
+             workers: int = 1, store=None, stats=None,
+             **legacy) -> tuple[list[CellResult], str]:
     """Run the Fig. 3 campaign; returns (cells, formatted report).
 
-    ``structures`` (the CLI ``--structures`` override) widens or
+    The spec's ``structures`` (default: the datapath pair) widens or
     narrows the structure set whose FIT contributions the EPF sums —
-    adding control structures folds their AVF into FIT_GPU.
+    adding control structures folds their AVF into FIT_GPU. The legacy
+    kwarg form builds the spec internally with a
+    :class:`DeprecationWarning`.
     """
-    cells = run_matrix(
-        gpus=gpus if gpus is not None else list_scaled_gpus(),
-        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
-        scale=scale,
-        samples=samples,
-        seed=seed,
-        structures=tuple(structures) if structures else STRUCTURES,
-        progress=progress,
-        workers=workers,
-        store=store,
-        shard_size=shard_size,
-        stats=stats,
-        fault_model=fault_model,
-        checkpoint_interval=checkpoint_interval,
-    )
+    spec = coerce_spec(spec, legacy, who="run_fig3")
+    cells = run_matrix(spec, progress=progress, workers=workers,
+                       store=store, stats=stats)
     report = format_epf_figure(cells)
     if out_csv:
         write_cells_csv(cells, out_csv)

@@ -15,44 +15,28 @@ reports ``n/a`` there and real numbers for the other two.
 
 from __future__ import annotations
 
-from repro.arch.scaling import list_scaled_gpus
 from repro.arch.structures import CONTROL_STRUCTURES
-from repro.kernels.registry import KERNEL_NAMES
 from repro.reliability.campaign import CellResult, run_matrix
 from repro.reliability.report import format_control_avf, write_cells_csv
+from repro.spec import coerce_spec
 
 
-def run_control_avf(samples: int | None = None, scale: str | None = None,
-                    gpus: list | None = None, workloads: list | None = None,
-                    seed: int = 0, out_csv: str | None = None,
-                    progress=None, workers: int = 1, store=None,
-                    shard_size: int | None = None,
-                    stats=None, fault_model=None,
-                    checkpoint_interval=None,
-                    structures: tuple | None = None,
-                    ) -> tuple[list[CellResult], str]:
+def run_control_avf(spec=None, *, out_csv: str | None = None, progress=None,
+                    workers: int = 1, store=None, stats=None,
+                    **legacy) -> tuple[list[CellResult], str]:
     """Run the control-structure campaign; returns (cells, report).
 
-    ``structures`` (default: all three control structures) restricts
-    the target set — the CLI's ``--structures`` flag lands here.
+    An unset ``structures`` defaults to all three control structures;
+    an explicit one (the CLI's ``--structures`` flag) restricts the
+    target set. The legacy kwarg form builds the spec internally with
+    a :class:`DeprecationWarning`.
     """
-    structures = tuple(structures) if structures else CONTROL_STRUCTURES
-    cells = run_matrix(
-        gpus=gpus if gpus is not None else list_scaled_gpus(),
-        workloads=workloads if workloads is not None else list(KERNEL_NAMES),
-        scale=scale,
-        samples=samples,
-        seed=seed,
-        structures=structures,
-        progress=progress,
-        workers=workers,
-        store=store,
-        shard_size=shard_size,
-        stats=stats,
-        fault_model=fault_model,
-        checkpoint_interval=checkpoint_interval,
-    )
-    report = format_control_avf(cells, structures)
+    spec = coerce_spec(spec, legacy, who="run_control_avf")
+    if spec.structures is None:
+        spec = spec.replace(structures=CONTROL_STRUCTURES)
+    cells = run_matrix(spec, progress=progress, workers=workers,
+                       store=store, stats=stats)
+    report = format_control_avf(cells, spec.structures)
     if out_csv:
         write_cells_csv(cells, out_csv)
     return cells, report

@@ -11,59 +11,43 @@ paper's chips.
 
 All models share the golden runs (golden fingerprints ignore the fault
 model), so the marginal cost of each extra model is its plan + shard
-jobs only.
+jobs only. This is the degenerate one-axis sweep; arbitrary axis
+products are :meth:`repro.spec.CampaignSpec.sweep`.
 """
 
 from __future__ import annotations
 
-from repro.arch.scaling import list_scaled_gpus
-from repro.faultmodels.registry import fault_model_name, list_fault_models
-from repro.kernels.registry import KERNEL_NAMES
+from repro.faultmodels.registry import list_fault_models
 from repro.reliability.campaign import CellResult, run_matrix
 from repro.reliability.report import format_model_compare, write_cells_csv
-from repro.sim.faults import STRUCTURES
+from repro.spec import coerce_spec
 
 
-def run_model_compare(samples: int | None = None, scale: str | None = None,
-                      gpus: list | None = None, workloads: list | None = None,
-                      seed: int = 0, out_csv: str | None = None,
-                      progress=None, workers: int = 1, store=None,
-                      shard_size: int | None = None, stats=None,
-                      fault_model=None,
-                      fault_models: list | None = None,
-                      checkpoint_interval=None,
-                      structures: tuple | None = None,
-                      ) -> tuple[list[CellResult], str]:
+def run_model_compare(spec=None, *, fault_models: list | None = None,
+                      out_csv: str | None = None, progress=None,
+                      workers: int = 1, store=None, stats=None,
+                      **legacy) -> tuple[list[CellResult], str]:
     """Run the matrix once per fault model; returns (cells, report).
 
-    ``fault_models`` selects the model subset (default: every
-    registered model); ``fault_model`` — the shared single-model knob
-    the CLI passes to every harness — restricts the comparison to that
-    one model when given.
+    ``fault_models`` selects the model subset; by default every
+    registered model is compared (the spec's own ``fault_model`` field
+    is overridden per matrix run). The legacy kwarg form builds the
+    spec internally with a :class:`DeprecationWarning` — its
+    ``fault_model=`` kwarg restricts the comparison to that one model,
+    exactly as before.
     """
+    if fault_models is None and legacy.get("fault_model") is not None:
+        fault_models = [legacy["fault_model"]]
+    spec = coerce_spec(spec, legacy, who="run_model_compare")
     if fault_models is None:
-        fault_models = ([fault_model_name(fault_model)] if fault_model
-                        else list_fault_models())
+        fault_models = list_fault_models()
     cells_by_model: dict[str, list[CellResult]] = {}
     all_cells: list[CellResult] = []
     for name in fault_models:
-        cells = run_matrix(
-            gpus=gpus if gpus is not None else list_scaled_gpus(),
-            workloads=(workloads if workloads is not None
-                       else list(KERNEL_NAMES)),
-            scale=scale,
-            samples=samples,
-            seed=seed,
-            structures=tuple(structures) if structures else STRUCTURES,
-            progress=progress,
-            workers=workers,
-            store=store,
-            shard_size=shard_size,
-            stats=stats,
-            fault_model=name,
-            checkpoint_interval=checkpoint_interval,
-        )
-        cells_by_model[name] = cells
+        model_spec = spec.replace(fault_model=name)
+        cells = run_matrix(model_spec, progress=progress, workers=workers,
+                           store=store, stats=stats)
+        cells_by_model[model_spec.fault_model] = cells
         all_cells.extend(cells)
     report = format_model_compare(cells_by_model)
     if out_csv:

@@ -1,11 +1,29 @@
 """Command-line entry point for the experiment harnesses.
 
-Campaigns run on the job-graph execution engine: golden runs are shared
-between figures, ``--workers`` runs whole (GPU, benchmark) cells
-concurrently, and ``--resume STORE`` persists every finished job so a
-killed campaign picks up where it left off and identical re-invocations
-execute nothing. A summary line (jobs total / cached / executed) is
-printed after each run.
+Campaigns are configured by one declarative
+:class:`repro.spec.CampaignSpec` object, and the CLI is a thin layer
+over it: the figure subcommands (``fig1`` .. ``model_compare``) build
+a spec from their flags, while the two spec-first subcommands run
+checked-in campaign artifacts directly:
+
+* ``repro-experiments run path/to/spec.toml`` — execute a TOML/JSON
+  spec file. ``--set key=value`` overrides individual spec fields;
+  unknown keys and invalid values are registry-validated errors
+  naming the valid choices.
+* ``repro-experiments sweep path/to/spec.toml --axis key=v1,v2 ...``
+  — expand the spec by an axis product (``--axis`` repeats; integer
+  axes accept ``0..4`` ranges, set-valued axes join names with
+  ``+``), run every child campaign against one shared result store
+  and golden cache, and print a per-axis summary table.
+
+Campaigns run on the job-graph execution engine: golden runs are
+shared between figures, ``--workers`` runs whole (GPU, benchmark)
+cells concurrently, and ``--resume STORE`` persists every finished
+job so a killed campaign picks up where it left off and identical
+re-invocations execute nothing. A summary line (jobs total / cached /
+executed) is printed after each run. Spec fields map onto the same
+job fingerprints as the pre-spec kwarg era, so old stores resume with
+zero jobs executed.
 
 The fault model is a first-class campaign axis: ``--fault-model``
 selects transient bit flips (the paper's model, default), permanent
@@ -33,9 +51,10 @@ Examples::
     repro-experiments fig1 --fault-model stuck_at --samples 200
     repro-experiments model_compare --workers 8 --resume results/store.jsonl
     repro-experiments all --workers 8 --resume results/store.jsonl
-    repro-experiments fig1 --checkpoint-interval 500
-    repro-experiments fig1 --no-checkpoints
-    repro-experiments control_avf --samples 100
+    repro-experiments run examples/specs/smoke_fig1.toml
+    repro-experiments run campaign.toml --set samples=500 --set scale=small
+    repro-experiments sweep campaign.toml --axis fault_model=transient,stuck_at \
+        --axis seed=0..2 --resume results/sweep.jsonl
     repro-experiments control_avf --structures simt_stack,predicate_file
     repro-experiments --list-gpus
     repro-experiments --list-fault-models
@@ -50,7 +69,6 @@ import sys
 import time
 
 from repro.arch.presets import GPU_ALIASES, GPU_PRESETS
-from repro.arch.scaling import get_scaled_gpu
 from repro.arch.structures import STRUCTURE_REGISTRY, structure_info
 from repro.engine import CampaignStats, ResultStore
 from repro.errors import ConfigError
@@ -61,6 +79,15 @@ from repro.experiments.fig_control_avf import run_control_avf
 from repro.experiments.fig_model_compare import run_model_compare
 from repro.faultmodels.registry import FAULT_MODELS, list_fault_models
 from repro.kernels.registry import KERNEL_NAMES, get_workload
+from repro.reliability.report import format_avf_figure, write_cells_csv
+from repro.spec import (
+    INT_FIELDS,
+    SPEC_FIELDS,
+    TUPLE_FIELDS,
+    CampaignSpec,
+    check_spec_keys,
+    run_sweep,
+)
 
 _EXPERIMENTS = {
     "fig1": run_fig1,
@@ -73,15 +100,21 @@ _EXPERIMENTS = {
 #: ``all`` reproduces the paper's figures (model_compare is opt-in).
 _FIGURES = ("fig1", "fig2", "fig3")
 
+#: Spec-first subcommands, dispatched before the figure parser.
+_SPEC_COMMANDS = ("run", "sweep")
+
 
 def _parse_args(argv):
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the figures of Vallero et al., ISPASS 2017.",
+        description="Regenerate the figures of Vallero et al., ISPASS 2017 "
+                    "(see also the spec-file subcommands: "
+                    "'run SPEC' and 'sweep SPEC --axis key=v1,v2').",
     )
     parser.add_argument(
         "experiment", choices=sorted(_EXPERIMENTS) + ["all"], nargs="?",
-        help="which figure to regenerate",
+        help="which figure to regenerate (or use the 'run'/'sweep' "
+             "spec-file subcommands)",
     )
     parser.add_argument(
         "--list-gpus", action="store_true",
@@ -221,6 +254,22 @@ def _checkpoint_interval(args):
     return "auto"
 
 
+def _spec_from_args(args) -> CampaignSpec:
+    """The figure subcommands' CampaignSpec (None fields = defaults)."""
+    return CampaignSpec(
+        gpus=tuple(args.gpus) if args.gpus is not None else None,
+        workloads=tuple(args.workloads) if args.workloads is not None
+        else None,
+        scale=args.scale,
+        samples=args.samples,
+        seed=args.seed,
+        structures=_parse_structures(args.structures),
+        fault_model=args.fault_model or "transient",
+        checkpoint_interval=_checkpoint_interval(args),
+        shard_size=args.shard_size,
+    )
+
+
 def _progress(cell):
     print(
         f"  [{time.strftime('%H:%M:%S')}] {cell.gpu:<26} {cell.workload:<12} "
@@ -257,8 +306,267 @@ def _list_structures() -> None:
         print(f"{name:<16} [{kind}] isa: {isas:<8} {info.description}")
 
 
+# ----------------------------------------------------------------------
+# Spec-field value parsing (the `run --set` / `sweep --axis` surface)
+# ----------------------------------------------------------------------
+
+# Field typing comes from the spec package (declared once, next to
+# the dataclass) so a new campaign axis needs no CLI edit.
+_LIST_FIELDS = TUPLE_FIELDS
+_INT_FIELDS = INT_FIELDS
+
+
+def _check_set_key(key: str, *, flag: str) -> None:
+    check_spec_keys([key], context=f"{flag} {key}=...")
+
+
+def _split_assignment(text: str, *, flag: str) -> tuple[str, str]:
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ConfigError(
+            f"{flag} expects key=value, got {text!r}")
+    return key.strip(), value.strip()
+
+
+def _scalar_value(key: str, text: str):
+    """One spec-field value from CLI text (typed per field)."""
+    if key in _INT_FIELDS:
+        try:
+            return int(text)
+        except ValueError:
+            raise ConfigError(
+                f"spec field {key!r}: expected an integer, got {text!r}"
+            ) from None
+    if key == "raw_fit_per_bit":
+        try:
+            return float(text)
+        except ValueError:
+            raise ConfigError(
+                f"spec field {key!r}: expected a number, got {text!r}"
+            ) from None
+    if key == "checkpoint_interval":
+        if text in ("none", "off"):
+            return None
+        if text == "auto":
+            return "auto"
+        try:
+            return int(text)
+        except ValueError:
+            raise ConfigError(
+                f"spec field {key!r}: expected 'auto', 'none' or a cycle "
+                f"count, got {text!r}") from None
+    return text
+
+
+def _set_value(key: str, text: str):
+    """The value of one ``--set key=value`` override."""
+    if key in _LIST_FIELDS:
+        names = tuple(name for name in text.split(",") if name)
+        if not names:
+            raise ConfigError(
+                f"spec field {key!r}: expected a comma-separated name list, "
+                f"got {text!r}")
+        return names
+    return _scalar_value(key, text)
+
+
+def _apply_sets(spec: CampaignSpec, sets: list | None,
+                *, flag: str = "--set") -> CampaignSpec:
+    for text in sets or ():
+        key, value = _split_assignment(text, flag=flag)
+        _check_set_key(key, flag=flag)
+        spec = spec.replace(**{key: _set_value(key, value)})
+    return spec
+
+
+def _axis_points(key: str, text: str) -> list:
+    """The value list of one ``--axis key=v1,v2`` sweep axis.
+
+    Integer axes accept inclusive ``a..b`` ranges; set-valued axes
+    (gpus, workloads, structures) join the names of one axis point
+    with ``+`` (e.g. ``structures=register_file+local_memory,simt_stack``
+    is two points: the datapath pair, then the SIMT stack alone).
+    """
+    points: list = []
+    for part in text.split(","):
+        if not part:
+            continue
+        if key in _INT_FIELDS and ".." in part:
+            lo, _, hi = part.partition("..")
+            try:
+                lo, hi = int(lo), int(hi)
+            except ValueError:
+                raise ConfigError(
+                    f"sweep axis {key!r}: bad range {part!r} "
+                    f"(expected a..b)") from None
+            if hi < lo:
+                raise ConfigError(
+                    f"sweep axis {key!r}: empty range {part!r}")
+            points.extend(range(lo, hi + 1))
+        elif key in _LIST_FIELDS:
+            points.append(tuple(name for name in part.split("+") if name))
+        else:
+            points.append(_scalar_value(key, part))
+    if not points:
+        raise ConfigError(f"sweep axis {key!r} has no values")
+    return points
+
+
+# ----------------------------------------------------------------------
+# `run` subcommand: execute one spec file
+# ----------------------------------------------------------------------
+
+def _parse_run_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run",
+        description="Execute a TOML/JSON campaign spec file.",
+    )
+    parser.add_argument("spec", help="path to the .toml/.json spec file")
+    parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one spec field (repeatable); unknown keys are "
+             f"errors — valid: {', '.join(SPEC_FIELDS)}",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--resume", default=None, metavar="STORE",
+        help="persistent result store (JSONL), as for the figure commands",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="CSV",
+        help="also write the cells to this CSV path",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress lines",
+    )
+    return parser.parse_args(argv)
+
+
+def _main_run(argv) -> int:
+    args = _parse_run_args(argv)
+    try:
+        if args.workers < 1:
+            raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+        spec = CampaignSpec.from_file(args.spec)
+        spec = _apply_sets(spec, getattr(args, "set"))
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    from repro.engine.matrix import run_campaign
+    title = spec.name or args.spec
+    print(f"== running spec {title} ==", file=sys.stderr, flush=True)
+    print(f"   {spec.describe()}", file=sys.stderr, flush=True)
+    stats = CampaignStats()
+    result = run_campaign(
+        spec, store=args.resume, workers=args.workers,
+        progress=None if args.quiet else _progress, stats=stats)
+    anchor = spec.resolved_structures()[0]
+    # Cells whose chip does not expose the anchor structure never
+    # sampled it; keep them out of the table instead of rendering a
+    # fabricated 0.000 (the exposure rule is ISA-dependent).
+    sampled = [cell for cell in result.cells if anchor in cell.fi]
+    print(format_avf_figure(
+        sampled, anchor, f"Campaign {title} — {anchor} AVF"))
+    skipped = len(result.cells) - len(sampled)
+    if skipped:
+        print(f"({skipped} cells omitted from the table: their chips do "
+              f"not expose {anchor})", file=sys.stderr)
+    if args.out:
+        write_cells_csv(result.cells, args.out)
+    print(stats.summary(), file=sys.stderr, flush=True)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# `sweep` subcommand: spec file x axis product
+# ----------------------------------------------------------------------
+
+def _parse_sweep_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Expand a spec file by an axis product and run every "
+                    "child campaign against one shared store.",
+    )
+    parser.add_argument("spec", help="path to the .toml/.json base spec")
+    parser.add_argument(
+        "--axis", action="append", default=None, metavar="KEY=V1,V2",
+        required=False,
+        help="one sweep axis (repeatable, required at least once); "
+             "integer axes accept a..b ranges, set-valued axes join "
+             "names with '+'",
+    )
+    parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one base-spec field before expansion (repeatable)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--resume", default=None, metavar="STORE",
+        help="shared persistent result store (JSONL) for every child",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="CSV",
+        help="also write every child's cells to this CSV path",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress lines",
+    )
+    return parser.parse_args(argv)
+
+
+def _main_sweep(argv) -> int:
+    args = _parse_sweep_args(argv)
+    try:
+        if args.workers < 1:
+            raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+        if not args.axis:
+            raise ConfigError(
+                "sweep needs at least one --axis key=v1,v2 "
+                f"(valid keys: {', '.join(f for f in SPEC_FIELDS if f != 'name')})")
+        spec = CampaignSpec.from_file(args.spec)
+        spec = _apply_sets(spec, getattr(args, "set"))
+        axes: dict = {}
+        for text in args.axis:
+            key, value = _split_assignment(text, flag="--axis")
+            _check_set_key(key, flag="--axis")
+            if key in axes:
+                raise ConfigError(
+                    f"duplicate sweep axis {key!r}; give each --axis "
+                    f"once and comma-separate its values")
+            axes[key] = _axis_points(key, value)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    title = spec.name or args.spec
+    total = 1
+    for values in axes.values():
+        total *= len(values)
+    print(f"== sweeping spec {title}: {total} campaigns ==",
+          file=sys.stderr, flush=True)
+    stats = CampaignStats()
+    result = run_sweep(
+        spec, axes, store=args.resume, workers=args.workers,
+        progress=None if args.quiet else _progress, stats=stats)
+    print(result.summary())
+    if args.out:
+        write_cells_csv(result.cells, args.out)
+    print(stats.summary(), file=sys.stderr, flush=True)
+    return 0
+
+
 def main(argv=None) -> int:
-    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    try:
+        if argv and argv[0] == "run":
+            return _main_run(argv[1:])
+        if argv and argv[0] == "sweep":
+            return _main_sweep(argv[1:])
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    args = _parse_args(argv)
     if args.list_gpus:
         _list_gpus()
         return 0
@@ -273,17 +581,15 @@ def main(argv=None) -> int:
         return 0
     if args.experiment is None:
         print("error: an experiment "
-              f"({'|'.join(sorted(_EXPERIMENTS))}|all) is required unless "
+              f"({'|'.join(sorted(_EXPERIMENTS))}|all) or a spec subcommand "
+              "(run|sweep) is required unless "
               "--list-gpus/--list-workloads/--list-fault-models/"
               "--list-structures is given",
               file=sys.stderr)
         return 2
     try:
         _validate_args(args)
-        structures = _parse_structures(args.structures)
-        gpus = None
-        if args.gpus is not None:
-            gpus = [get_scaled_gpu(name) for name in args.gpus]
+        spec = _spec_from_args(args)
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -296,21 +602,20 @@ def main(argv=None) -> int:
                 out_csv = out_csv.replace(".csv", f"_{name}.csv")
             print(f"== running {name} ==", file=sys.stderr, flush=True)
             stats = CampaignStats()
+            extra = {}
+            if name == "model_compare":
+                # Preserve the pre-spec contract: a named model
+                # restricts the comparison, no flag compares them all.
+                extra["fault_models"] = (
+                    [args.fault_model] if args.fault_model else None)
             _, report = _EXPERIMENTS[name](
-                samples=args.samples,
-                scale=args.scale,
-                gpus=gpus,
-                workloads=args.workloads,
-                seed=args.seed,
+                spec,
                 out_csv=out_csv,
                 progress=_progress,
                 workers=args.workers,
                 store=store,
-                shard_size=args.shard_size,
                 stats=stats,
-                fault_model=args.fault_model,
-                checkpoint_interval=_checkpoint_interval(args),
-                structures=structures,
+                **extra,
             )
             print(report)
             print()

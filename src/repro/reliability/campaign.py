@@ -5,35 +5,35 @@ benchmark: AVF by fault injection and by ACE analysis for both target
 structures, structure occupancies, the cycle count, and the EPF. The
 figure harnesses (`repro.experiments`, `benchmarks/`) are thin loops
 over cells.
+
+Campaigns are configured by one :class:`repro.spec.CampaignSpec`
+object — ``run_cell(spec)`` and ``run_matrix(spec)`` consume it
+directly. The pre-spec kwarg call pattern
+(``run_cell(config, "matrixMul", scale=..., samples=...)``) is kept
+as a thin shim that builds a spec internally and emits a
+:class:`DeprecationWarning`; results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.config import GpuConfig
+from repro.arch.structures import LOCAL_MEMORY, REGISTER_FILE
 from repro.errors import ConfigError
 from repro.kernels.registry import get_workload
-from repro.reliability.epf import RAW_FIT_PER_BIT, EpfResult, compute_epf
+from repro.reliability.epf import EpfResult, compute_epf
 from repro.reliability.fi import AvfEstimate, GoldenRun, run_fi_campaign, run_golden
-from repro.reliability.liveness import AceMode
-from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, STRUCTURES
 
-#: Environment knobs so test/bench runs can be resized without code edits.
-ENV_SAMPLES = "REPRO_FI_SAMPLES"
-ENV_SCALE = "REPRO_SCALE"
-
-
-def default_samples(fallback: int = 150) -> int:
-    """FI samples per structure (env override REPRO_FI_SAMPLES)."""
-    return int(os.environ.get(ENV_SAMPLES, fallback))
-
-
-def default_scale(fallback: str = "small") -> str:
-    """Workload scale (env override REPRO_SCALE)."""
-    return os.environ.get(ENV_SCALE, fallback)
+# Re-exported for backward compatibility: these helpers lived here
+# before the spec API centralized default resolution.
+from repro.spec.defaults import (  # noqa: F401  (re-export)
+    ENV_SAMPLES,
+    ENV_SCALE,
+    default_samples,
+    default_scale,
+)
 
 
 @dataclass
@@ -92,37 +92,75 @@ class CellResult:
         }
 
 
-def run_cell(config: GpuConfig, workload_name: str,
-             scale: str | None = None, samples: int | None = None,
-             seed: int = 0, scheduler: str = "rr",
-             structures: tuple = STRUCTURES,
-             ace_mode: AceMode = AceMode.CONSERVATIVE,
-             raw_fit_per_bit: float = RAW_FIT_PER_BIT,
+def run_cell(spec=None, workload: str | None = None, *args,
              golden: GoldenRun | None = None,
-             workers: int = 1,
-             fault_model=None,
-             checkpoint_interval=None) -> CellResult:
+             workers: int = 1, **legacy) -> CellResult:
     """Measure one (GPU, benchmark) cell end to end.
 
-    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) makes
-    the golden run capture machine snapshots so live-fault
-    re-simulations run suffix-only with early-exit convergence — same
-    outcomes and cycle counts, less wall time (:mod:`repro.checkpoint`).
+    Preferred form: ``run_cell(spec)`` where ``spec`` is a
+    :class:`repro.spec.CampaignSpec` naming exactly one GPU and one
+    workload. The legacy form ``run_cell(config, "matrixMul",
+    scale=..., samples=..., ...)`` builds that spec internally and
+    emits a :class:`DeprecationWarning`; results are identical.
+
+    ``golden`` (a precomputed :class:`GoldenRun`) and ``workers`` are
+    execution resources, not campaign parameters, so they stay
+    explicit arguments. The spec's ``checkpoint_interval`` (None,
+    ``"auto"``, or a cycle count) makes the golden run capture machine
+    snapshots so live-fault re-simulations run suffix-only with
+    early-exit convergence — same outcomes and cycle counts, less wall
+    time (:mod:`repro.checkpoint`).
     """
-    from repro.faultmodels.registry import fault_model_name
-    scale = scale or default_scale()
-    samples = samples if samples is not None else default_samples()
-    model_name = fault_model_name(fault_model)
+    from repro.spec import coerce_spec
+    if spec is None and isinstance(legacy.get("config"), GpuConfig):
+        spec = legacy.pop("config")  # old keyword-style config=...
+    if isinstance(spec, GpuConfig):
+        # Legacy form, exactly as the old signature accepted it:
+        # run_cell(config, workload_name[, scale[, samples[, seed...]]]),
+        # with config= / workload_name= as keywords also allowed.
+        if workload is None:
+            workload = legacy.pop("workload_name", None)
+        if workload is None:
+            raise ConfigError(
+                "run_cell(config, ...) needs a workload name as its "
+                "second argument")
+        positional = ("scale", "samples", "seed", "scheduler",
+                      "structures", "ace_mode", "raw_fit_per_bit")
+        if len(args) > len(positional):
+            raise ConfigError(
+                f"run_cell(config, workload, {', '.join(positional)}) "
+                f"takes at most {2 + len(positional)} positional "
+                f"arguments, got {2 + len(args)}")
+        for key, value in zip(positional, args):
+            if legacy.get(key) is not None:
+                raise ConfigError(
+                    f"run_cell() got multiple values for {key!r} "
+                    f"(positional and keyword)")
+            legacy[key] = value
+        legacy["gpus"] = (spec,)
+        legacy["workloads"] = (workload,)
+        spec = None
+    elif workload is not None or args:
+        raise ConfigError(
+            "run_cell(spec) takes no separate workload argument; name "
+            "the workload in the spec")
+    spec = coerce_spec(spec, legacy, who="run_cell")
+
+    config, workload_name = spec.single()
+    scale = spec.resolved_scale()
+    samples = spec.resolved_samples()
+    structures = spec.resolved_structures()
+    model_name = spec.fault_model
     workload = get_workload(workload_name, scale)
 
     if golden is None:
-        golden = run_golden(config, workload, scheduler=scheduler,
-                            ace_mode=ace_mode,
-                            checkpoint_interval=checkpoint_interval)
+        golden = run_golden(config, workload, scheduler=spec.scheduler,
+                            ace_mode=spec.ace_mode,
+                            checkpoint_interval=spec.checkpoint_interval)
 
     start = time.perf_counter()
     campaign = run_fi_campaign(
-        config, workload, golden, samples=samples, seed=seed,
+        config, workload, golden, samples=samples, seed=spec.seed,
         structures=structures, workers=workers, fault_model=model_name,
     )
     fi_time = time.perf_counter() - start
@@ -132,13 +170,13 @@ def run_cell(config: GpuConfig, workload_name: str,
 
     avf_for_epf = {s: campaign.estimates[s].avf for s in structures}
     epf = compute_epf(config, workload_name, golden.cycles, avf_for_epf,
-                      raw_fit_per_bit)
+                      spec.raw_fit_per_bit)
 
     return CellResult(
         gpu=config.name,
         workload=workload_name,
         scale=scale,
-        scheduler=scheduler,
+        scheduler=spec.scheduler,
         cycles=golden.cycles,
         num_launches=len(golden.launch_cycles),
         fi=campaign.estimates,
@@ -148,41 +186,37 @@ def run_cell(config: GpuConfig, workload_name: str,
         golden_time_s=golden.wall_time_s,
         fi_time_s=fi_time,
         samples=samples,
-        seed=seed,
+        seed=spec.seed,
         uses_local_memory=workload.uses_local_memory,
         fault_model=model_name,
     )
 
 
-def run_matrix(gpus: list | None = None, workloads: list | None = None,
-               scale: str | None = None, samples: int | None = None,
-               seed: int = 0, scheduler: str = "rr",
-               structures: tuple = STRUCTURES,
-               progress=None, workers: int = 1,
-               store=None, shard_size: int | None = None,
-               stats=None, fault_model=None,
-               checkpoint_interval=None) -> list[CellResult]:
+def run_matrix(spec=None, *, progress=None, workers: int = 1,
+               store=None, stats=None, **legacy) -> list[CellResult]:
     """Run the full (GPU x benchmark) matrix the figures are built from.
+
+    Preferred form: ``run_matrix(spec)``; the legacy kwarg form builds
+    the spec internally with a :class:`DeprecationWarning`.
 
     Delegates to the job-graph engine (:mod:`repro.engine.matrix`):
     ``workers > 1`` runs whole cells concurrently on a process pool,
     ``store`` (a path or :class:`repro.engine.ResultStore`) makes the
     campaign resumable and incremental, and ``stats`` (a
     :class:`repro.engine.CampaignStats`) collects the jobs
-    total/cached/executed accounting. ``fault_model`` selects the
-    campaign's fault model (default transient; part of the job
-    fingerprints, so models never collide in a store).
-    ``checkpoint_interval`` (None, ``"auto"``, or a cycle count) turns
-    on suffix-only fault injection from golden-run snapshots. Results
-    are bit-identical to the serial per-cell loop for every setting.
+    total/cached/executed accounting. Results are bit-identical to the
+    serial per-cell loop for every setting.
     """
+    from repro.arch.presets import list_gpus
     from repro.engine.matrix import run_campaign
+    from repro.spec import coerce_spec
+    # coerce_spec preserves the kwarg era's full-size-preset default
+    # for every spec-less call, including a bare run_matrix() (a bare
+    # spec defaults to the scaled ones, like the CLI).
+    spec = coerce_spec(spec, legacy, who="run_matrix",
+                       legacy_defaults={"gpus": list_gpus})
     result = run_campaign(
-        gpus=gpus, workloads=workloads, scale=scale, samples=samples,
-        seed=seed, scheduler=scheduler, structures=structures,
-        shard_size=shard_size, workers=workers, store=store,
-        progress=progress, stats=stats, fault_model=fault_model,
-        checkpoint_interval=checkpoint_interval,
+        spec, store=store, workers=workers, progress=progress, stats=stats,
     )
     return result.cells
 

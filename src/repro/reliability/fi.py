@@ -56,7 +56,8 @@ from repro.reliability.outcomes import (
     count_corrupted_words,
 )
 from repro.reliability.sampling import margin_of_error
-from repro.sim.faults import STRUCTURES, FaultPlan
+from repro.arch.structures import DATAPATH_STRUCTURES
+from repro.sim.faults import FaultPlan
 from repro.sim.gpu import Gpu, default_watchdog_for
 from repro.sim.tracing import CompositeSink
 
@@ -299,7 +300,7 @@ def _resimulate_batch(config: GpuConfig, workload: Workload,
 
 def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
                     samples: int, seed: int = 0,
-                    structures: tuple = STRUCTURES,
+                    structures: tuple = DATAPATH_STRUCTURES,
                     keep_results: bool = False,
                     workers: int = 1,
                     fault_model=None) -> CampaignOutput:

@@ -13,8 +13,8 @@ import csv
 import math
 from pathlib import Path
 
+from repro.arch.structures import LOCAL_MEMORY, REGISTER_FILE
 from repro.reliability.campaign import CellResult, average_cell
-from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
 
 #: Figure order of the chips.
 GPU_ORDER = (
@@ -238,6 +238,49 @@ def format_control_avf(cells: list[CellResult], structures: tuple) -> str:
             f"(n = {max(samples)} injections/structure; structures: "
             f"{', '.join(structures)})"
         )
+    return "\n".join(lines)
+
+
+def format_sweep_summary(result) -> str:
+    """Per-axis summary table of one sweep (:mod:`repro.spec.sweep`).
+
+    One row per child campaign (expansion order — the last axis varies
+    fastest), keyed by its axis assignment, with the cell count and
+    the mean AVF-FI over the child's cells for every structure the
+    sweep touched. Structures a child never targeted (or its chips do
+    not expose) render as ``n/a``.
+    """
+    structures: list = []
+    for run in result.runs:
+        for cell in run.cells:
+            for structure in cell.fi:
+                if structure not in structures:
+                    structures.append(structure)
+    title = (f"Sweep summary — {len(result.runs)} campaigns "
+             f"(axes: {', '.join(result.axes)})")
+    lines = [title, "=" * len(title), ""]
+    label_width = max([len(run.label) for run in result.runs] + [len("campaign")])
+    header = (f"{'campaign':<{label_width}} {'cells':>6} " + " ".join(
+        f"{'avf:' + s:>20}" for s in structures))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for run in result.runs:
+        columns = []
+        for structure in structures:
+            having = [c for c in run.cells if structure in c.fi]
+            if not having:
+                columns.append(f"{'n/a':>20}")
+            else:
+                avg = sum(c.avf_fi(structure) for c in having) / len(having)
+                columns.append(f"{avg:20.4f}")
+        lines.append(f"{run.label:<{label_width}} {len(run.cells):>6} "
+                     + " ".join(columns))
+    lines.append("")
+    executed = sum(run.stats.executed for run in result.runs)
+    cached = sum(run.stats.cached for run in result.runs)
+    lines.append(
+        f"(shared store/golden cache: {cached} jobs cached, "
+        f"{executed} executed across the sweep)")
     return "\n".join(lines)
 
 

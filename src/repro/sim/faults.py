@@ -43,10 +43,24 @@ from repro.arch.structures import (
 from repro.arch.structures import words_per_core as _words_per_core
 from repro.errors import ConfigError
 
-#: The paper's datapath pair — the default campaign structure set.
-#: The full taxonomy (control structures included) is
-#: :data:`repro.arch.structures.ALL_STRUCTURES`.
-STRUCTURES = DATAPATH_STRUCTURES
+def __getattr__(name: str):
+    """Deprecated alias: ``STRUCTURES`` -> ``DATAPATH_STRUCTURES``.
+
+    The default campaign structure set (the paper's datapath pair)
+    lives in the structure registry; import
+    :data:`repro.arch.structures.DATAPATH_STRUCTURES` instead. The
+    full taxonomy (control structures included) is
+    :data:`repro.arch.structures.ALL_STRUCTURES`.
+    """
+    if name == "STRUCTURES":
+        import warnings
+        warnings.warn(
+            "repro.sim.faults.STRUCTURES is deprecated; use "
+            "repro.arch.structures.DATAPATH_STRUCTURES (or pass a "
+            "CampaignSpec, whose default already is the datapath pair)",
+            DeprecationWarning, stacklevel=2)
+        return DATAPATH_STRUCTURES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

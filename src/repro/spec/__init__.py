@@ -1,0 +1,56 @@
+"""``repro.spec`` — the declarative campaign API.
+
+One typed, frozen, serializable :class:`CampaignSpec` object is the
+single configuration surface for every layer of the reproduction:
+
+* ``run_cell(spec)`` / ``run_matrix(spec)`` /
+  ``run_campaign(spec, store=..., workers=...)``
+* the figure harnesses (``repro.experiments``)
+* spec files (``CampaignSpec.from_file`` / ``to_file``, TOML or JSON)
+  and the ``repro-experiments run path/to/spec.toml`` CLI
+* sweeps (``spec.sweep(fault_model=[...], seed=range(3))`` /
+  :func:`run_sweep`) sharing one result store and golden cache
+
+Spec fields map one-to-one onto the engine's job-fingerprint
+parameters, so spec campaigns are byte-identical to the legacy kwarg
+call pattern (now a deprecated shim) and pre-spec result stores
+resume with zero jobs executed.
+"""
+
+from repro.spec.campaign import (
+    INT_FIELDS,
+    SPEC_FIELDS,
+    TUPLE_FIELDS,
+    CampaignSpec,
+    check_spec_keys,
+    coerce_spec,
+)
+from repro.spec.defaults import (
+    ENV_SAMPLES,
+    ENV_SCALE,
+    default_samples,
+    default_scale,
+)
+from repro.spec.files import load_spec, save_spec, spec_from_dict, spec_to_dict
+from repro.spec.sweep import SweepResult, SweepRun, expand_sweep, run_sweep
+
+__all__ = [
+    "CampaignSpec",
+    "INT_FIELDS",
+    "SPEC_FIELDS",
+    "TUPLE_FIELDS",
+    "SweepResult",
+    "SweepRun",
+    "check_spec_keys",
+    "coerce_spec",
+    "default_samples",
+    "default_scale",
+    "ENV_SAMPLES",
+    "ENV_SCALE",
+    "expand_sweep",
+    "load_spec",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "run_sweep",
+]

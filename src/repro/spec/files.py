@@ -1,0 +1,165 @@
+"""Spec files: TOML/JSON serialization of :class:`CampaignSpec`.
+
+A spec file is a flat table of spec fields — the checked-in,
+reviewable form of a campaign (``examples/specs/`` holds the ones the
+full-paper reproduction runs). ``CampaignSpec.from_file`` /
+``to_file`` dispatch here by extension:
+
+* ``.toml`` — read with the stdlib ``tomllib``; written by the tiny
+  emitter below (the environment has no TOML writer dependency).
+  Chips must be referenced by preset name.
+* ``.json`` — full fidelity: chips may also be *embedded* as complete
+  ``GpuConfig`` tables (name -> latency model), so custom silicon is
+  expressible in a checked-in artifact.
+
+Unknown keys are configuration errors naming the offending key and
+the valid choices — a typo in a spec file fails at load time, not as
+a traceback from deep inside a worker. Round trips are exact:
+``CampaignSpec.from_dict(spec.to_dict()) == spec``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.arch.config import GpuConfig, LatencyModel
+from repro.errors import ConfigError
+from repro.spec.campaign import CampaignSpec, check_spec_keys
+
+
+# ----------------------------------------------------------------------
+# dict codec
+# ----------------------------------------------------------------------
+
+def _encode_gpu(gpu) -> str | dict:
+    return dataclasses.asdict(gpu) if isinstance(gpu, GpuConfig) else gpu
+
+
+def _decode_gpu(value):
+    if isinstance(value, dict):
+        try:
+            params = dict(value)
+            latency = params.pop("latency", None)
+            if latency is not None:
+                params["latency"] = LatencyModel(**latency)
+            return GpuConfig(**params)
+        except TypeError as error:
+            raise ConfigError(
+                f"spec field 'gpus': bad embedded GpuConfig table: {error}"
+            ) from None
+    return value
+
+
+def spec_to_dict(spec: CampaignSpec) -> dict:
+    """Plain-data form of a spec. ``None`` (default) fields are omitted."""
+    data: dict = {}
+    for field in dataclasses.fields(CampaignSpec):
+        value = getattr(spec, field.name)
+        if value is None:
+            continue
+        if field.name == "gpus":
+            value = [_encode_gpu(gpu) for gpu in value]
+        elif field.name == "ace_mode":
+            value = value.value
+        elif isinstance(value, tuple):
+            value = list(value)
+        data[field.name] = value
+    return data
+
+
+def spec_from_dict(data: dict) -> CampaignSpec:
+    """Inverse of :func:`spec_to_dict`; unknown keys raise ConfigError."""
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"a campaign spec must be a table/object of spec fields, "
+            f"got {type(data).__name__}")
+    check_spec_keys(data, context="spec data")
+    kwargs = dict(data)
+    if "gpus" in kwargs and not isinstance(kwargs["gpus"], str):
+        gpus = kwargs["gpus"]
+        if not isinstance(gpus, (list, tuple)):
+            raise ConfigError(
+                f"spec field 'gpus': expected a name or a list, "
+                f"got {gpus!r}")
+        kwargs["gpus"] = [_decode_gpu(gpu) for gpu in gpus]
+    return CampaignSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# TOML emitter (flat tables of str/int/float/bool/list values)
+# ----------------------------------------------------------------------
+
+def _toml_scalar(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a valid TOML basic string.
+        return json.dumps(value)
+    raise ConfigError(
+        f"cannot encode {value!r} as a TOML value; use a .json spec file "
+        f"for embedded GpuConfig tables")
+
+
+def _toml_value(value) -> str:
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(item) for item in value) + "]"
+    return _toml_scalar(value)
+
+
+def dumps_toml(data: dict) -> str:
+    """Minimal TOML for a flat spec dict (keys are known-bare)."""
+    lines = ["# repro campaign spec (repro-experiments run <this file>)"]
+    lines += [f"{key} = {_toml_value(value)}"
+              for key, value in data.items()]
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+
+def load_spec(path) -> CampaignSpec:
+    """Read + validate a ``.toml`` / ``.json`` spec file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"spec file not found: {path}")
+    suffix = path.suffix.lower()
+    try:
+        if suffix == ".toml":
+            import tomllib
+            with path.open("rb") as handle:
+                data = tomllib.load(handle)
+        elif suffix == ".json":
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        else:
+            raise ConfigError(
+                f"unsupported spec file extension {suffix!r} for {path}; "
+                f"use .toml or .json")
+    except ConfigError:
+        raise
+    except Exception as error:  # tomllib/json parse errors
+        raise ConfigError(f"cannot parse spec file {path}: {error}") from None
+    try:
+        return spec_from_dict(data)
+    except ConfigError as error:
+        raise ConfigError(f"{path}: {error}") from None
+
+
+def save_spec(spec: CampaignSpec, path) -> None:
+    """Write a spec as ``.toml`` / ``.json`` (by extension)."""
+    path = Path(path)
+    data = spec_to_dict(spec)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        path.write_text(dumps_toml(data), encoding="utf-8")
+    elif suffix == ".json":
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    else:
+        raise ConfigError(
+            f"unsupported spec file extension {suffix!r} for {path}; "
+            f"use .toml or .json")

@@ -27,7 +27,7 @@ from repro.kernels.registry import get_workload
 from repro.kernels.workload import run_workload
 from repro.reliability.fi import run_fi_campaign, run_golden
 from repro.reliability.outcomes import Outcome
-from repro.sim.faults import STRUCTURES
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
 from repro.sim.gpu import Gpu, default_watchdog_for
 from repro.sim.tracing import EventRecorder
 from tests.conftest import MINI_AMD, MINI_NVIDIA

@@ -12,7 +12,7 @@ import pytest
 
 from repro.engine import clear_memory_cache, run_campaign
 from repro.reliability.campaign import run_cell
-from repro.sim.faults import STRUCTURES
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
 from tests.conftest import MINI_AMD, MINI_NVIDIA
 
 SAMPLES, SEED = 20, 5

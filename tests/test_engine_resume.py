@@ -9,7 +9,8 @@ import pytest
 from repro.engine import clear_memory_cache, run_campaign
 from repro.engine.jobs import CELL, GOLDEN, PLAN, SHARD
 from repro.engine.store import ResultStore
-from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE, STRUCTURES
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
+from repro.sim.faults import LOCAL_MEMORY, REGISTER_FILE
 from tests.conftest import MINI_NVIDIA
 
 GPUS = [MINI_NVIDIA]

@@ -9,7 +9,8 @@ from repro.kernels.registry import get_workload
 from repro.reliability.campaign import run_cell, run_matrix
 from repro.reliability.fi import run_fi_campaign, run_golden
 from repro.reliability.outcomes import Outcome
-from repro.sim.faults import REGISTER_FILE, STRUCTURES
+from repro.arch.structures import DATAPATH_STRUCTURES as STRUCTURES
+from repro.sim.faults import REGISTER_FILE
 from tests.conftest import MINI_AMD, MINI_NVIDIA
 
 

@@ -1,0 +1,453 @@
+"""CampaignSpec: validation, serialization, sweeps, fingerprints, shims.
+
+The spec API's contract has four load-bearing pieces, each pinned
+here:
+
+* construction validates every field against the relevant registry
+  with a ConfigError naming the offending field;
+* TOML/JSON round trips are exact (``from_dict(to_dict(s)) == s``);
+* sweeps expand the axis product in row-major order and re-validate
+  every child;
+* spec fields map onto the same job fingerprints as the legacy kwarg
+  era — a store written through the kwarg shims resumes under the
+  spec API with zero jobs executed — and every legacy entry point
+  emits a DeprecationWarning exactly when shimming.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.engine.matrix import cell_fingerprints, run_campaign
+from repro.engine.scheduler import CampaignStats
+from repro.errors import ConfigError
+from repro.reliability.campaign import run_cell, run_matrix
+from repro.reliability.liveness import AceMode
+from repro.spec import CampaignSpec, expand_sweep, run_sweep
+from tests.conftest import MINI_AMD, MINI_NVIDIA
+
+
+class TestValidation:
+    """Every bad field fails loudly, naming the field."""
+
+    @pytest.mark.parametrize("kwargs,needle", [
+        ({"gpus": ("nosuchchip",)}, "gpus"),
+        ({"gpus": (42,)}, "gpus"),
+        ({"workloads": ("nosuchbench",)}, "workloads"),
+        ({"scale": "huge"}, "scale"),
+        ({"samples": 0}, "samples"),
+        ({"samples": "many"}, "samples"),
+        ({"samples": True}, "samples"),
+        ({"seed": -1}, "seed"),
+        ({"scheduler": "fifo"}, "scheduler"),
+        ({"structures": ("l2_cache",)}, "structures"),
+        ({"structures": ()}, "structures"),
+        ({"fault_model": "gamma_ray"}, "fault_model"),
+        ({"ace_mode": "optimistic"}, "ace_mode"),
+        ({"checkpoint_interval": 0}, "checkpoint_interval"),
+        ({"checkpoint_interval": "sometimes"}, "checkpoint_interval"),
+        ({"shard_size": 0}, "shard_size"),
+        ({"raw_fit_per_bit": 0.0}, "raw_fit_per_bit"),
+        ({"raw_fit_per_bit": "big"}, "raw_fit_per_bit"),
+        ({"name": 7}, "name"),
+    ])
+    def test_bad_field_raises_config_error(self, kwargs, needle):
+        with pytest.raises(ConfigError) as excinfo:
+            CampaignSpec(**kwargs)
+        assert needle in str(excinfo.value)
+        assert "Traceback" not in str(excinfo.value)
+
+    def test_registry_errors_name_valid_choices(self):
+        with pytest.raises(ConfigError, match="simt_stack"):
+            CampaignSpec(structures=("l2_cache",))
+        with pytest.raises(ConfigError, match="transient"):
+            CampaignSpec(fault_model="gamma_ray")
+        with pytest.raises(ConfigError, match="matrixMul"):
+            CampaignSpec(workloads=("nosuchbench",))
+
+    def test_normalization(self):
+        spec = CampaignSpec(gpus="gtx480", workloads="vectoradd",
+                            structures="register_file",
+                            ace_mode="lane_masked", raw_fit_per_bit=1)
+        assert spec.gpus == ("gtx480",)
+        assert spec.workloads == ("vectoradd",)
+        assert spec.structures == ("register_file",)
+        assert spec.ace_mode is AceMode.LANE_MASKED
+        assert spec.raw_fit_per_bit == 1.0
+        # structures dedupe, order kept
+        spec = CampaignSpec(structures=("local_memory", "register_file",
+                                        "local_memory"))
+        assert spec.structures == ("local_memory", "register_file")
+
+    def test_gpu_config_objects_accepted(self):
+        spec = CampaignSpec(gpus=(MINI_NVIDIA, MINI_AMD))
+        assert spec.resolved_gpus() == [MINI_NVIDIA, MINI_AMD]
+
+    def test_resolution_defaults(self):
+        spec = CampaignSpec()
+        assert spec.resolved_structures() == ("register_file",
+                                              "local_memory")
+        assert len(spec.resolved_gpus()) == 4
+        assert len(spec.resolved_workloads()) == 10
+        assert spec.resolved_samples() >= 1
+        assert spec.resolved_scale() in ("tiny", "small", "default")
+        assert spec.resolved_shard_size() >= 1
+
+    def test_single_requires_one_cell(self):
+        with pytest.raises(ConfigError, match="exactly one"):
+            CampaignSpec().single()
+        config, workload = CampaignSpec(
+            gpus=(MINI_NVIDIA,), workloads=("vectoradd",)).single()
+        assert config is MINI_NVIDIA and workload == "vectoradd"
+
+    def test_replace_revalidates_and_rejects_unknown(self):
+        spec = CampaignSpec(samples=5)
+        assert spec.replace(samples=9).samples == 9
+        with pytest.raises(ConfigError, match="samples"):
+            spec.replace(samples=0)
+        with pytest.raises(ConfigError, match="valid keys"):
+            spec.replace(smaples=9)
+
+
+class TestSerialization:
+    """to_dict/from_dict and TOML/JSON files round-trip exactly."""
+
+    SPEC = CampaignSpec(
+        gpus=("gtx480", "hd7970"), workloads=("vectoradd", "histogram"),
+        scale="tiny", samples=12, seed=3, scheduler="gto",
+        structures=("register_file", "simt_stack"), fault_model="mbu",
+        ace_mode="lane_masked", checkpoint_interval=500, shard_size=7,
+        raw_fit_per_bit=2e-3, name="round trip")
+
+    def test_dict_round_trip(self):
+        assert CampaignSpec.from_dict(self.SPEC.to_dict()) == self.SPEC
+        assert CampaignSpec.from_dict({}) == CampaignSpec()
+
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        self.SPEC.to_file(path)
+        assert CampaignSpec.from_file(path) == self.SPEC
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        self.SPEC.to_file(path)
+        assert CampaignSpec.from_file(path) == self.SPEC
+
+    def test_auto_checkpoint_round_trips(self, tmp_path):
+        spec = CampaignSpec(checkpoint_interval="auto")
+        path = tmp_path / "auto.toml"
+        spec.to_file(path)
+        assert CampaignSpec.from_file(path).checkpoint_interval == "auto"
+
+    def test_embedded_gpu_config_json_round_trip(self, tmp_path):
+        spec = CampaignSpec(gpus=(MINI_NVIDIA,), workloads=("vectoradd",))
+        path = tmp_path / "custom.json"
+        spec.to_file(path)
+        loaded = CampaignSpec.from_file(path)
+        assert loaded.gpus == (MINI_NVIDIA,)
+
+    def test_embedded_gpu_config_rejected_in_toml(self, tmp_path):
+        spec = CampaignSpec(gpus=(MINI_NVIDIA,))
+        with pytest.raises(ConfigError, match="json"):
+            spec.to_file(tmp_path / "custom.toml")
+
+    def test_unknown_key_names_key_and_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            CampaignSpec.from_dict({"smaples": 5})
+        message = str(excinfo.value)
+        assert "smaples" in message and "valid keys" in message
+        assert "samples" in message
+
+    def test_unknown_key_in_file_names_file(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text('smaples = 5\n')
+        with pytest.raises(ConfigError, match="smaples"):
+            CampaignSpec.from_file(path)
+
+    def test_missing_file_and_bad_extension(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            CampaignSpec.from_file(tmp_path / "nope.toml")
+        path = tmp_path / "spec.yaml"
+        path.write_text("samples: 5\n")
+        with pytest.raises(ConfigError, match="yaml"):
+            CampaignSpec.from_file(path)
+        with pytest.raises(ConfigError, match="yaml"):
+            CampaignSpec().to_file(tmp_path / "out.yaml")
+
+    def test_parse_error_is_config_error(self, tmp_path):
+        path = tmp_path / "torn.toml"
+        path.write_text("samples = [unclosed\n")
+        with pytest.raises(ConfigError, match="parse"):
+            CampaignSpec.from_file(path)
+
+
+class TestSweep:
+    def test_expansion_count_and_order(self):
+        base = CampaignSpec(name="base")
+        children = base.sweep(fault_model=["transient", "stuck_at"],
+                              seed=range(3))
+        assert len(children) == 6
+        # Row-major: last axis (seed) varies fastest.
+        assert [c.seed for c in children] == [0, 1, 2, 0, 1, 2]
+        assert [c.fault_model for c in children[:3]] == ["transient"] * 3
+        assert children[0].name == "base: fault_model=transient, seed=0"
+
+    def test_structures_axis_accepts_sets_and_scalars(self):
+        children = CampaignSpec().sweep(
+            structures=[("register_file", "local_memory"), "simt_stack"])
+        assert children[0].structures == ("register_file", "local_memory")
+        assert children[1].structures == ("simt_stack",)
+        assert children[1].name == "structures=simt_stack"
+
+    def test_children_are_validated(self):
+        with pytest.raises(ConfigError, match="fault_model"):
+            CampaignSpec().sweep(fault_model=["transient", "gamma_ray"])
+
+    def test_bad_axis_errors(self):
+        with pytest.raises(ConfigError, match="at least one axis"):
+            expand_sweep(CampaignSpec(), {})
+        with pytest.raises(ConfigError, match="valid axes"):
+            CampaignSpec().sweep(nosuch=[1, 2])
+        with pytest.raises(ConfigError, match="no values"):
+            CampaignSpec().sweep(seed=[])
+        with pytest.raises(ConfigError, match="valid axes"):
+            CampaignSpec().sweep(name=["a"])
+
+    def test_scalar_axis_value_allowed(self):
+        children = CampaignSpec().sweep(fault_model="stuck_at")
+        assert len(children) == 1
+        assert children[0].fault_model == "stuck_at"
+
+
+KWARGS = dict(scale="tiny", samples=6, seed=5)
+SPEC = CampaignSpec(gpus=(MINI_NVIDIA,), workloads=("vectoradd",), **KWARGS)
+
+
+class TestFingerprintStability:
+    """Same campaign, three expressions, one set of fingerprints."""
+
+    def test_legacy_store_resumes_under_spec_with_zero_jobs(self, tmp_path):
+        store = tmp_path / "store.jsonl"
+        with pytest.deprecated_call():
+            legacy = run_campaign(gpus=[MINI_NVIDIA],
+                                  workloads=["vectoradd"],
+                                  store=store, **KWARGS)
+        stats = CampaignStats()
+        again = run_campaign(SPEC, store=store, stats=stats)
+        assert stats.executed == 0
+        assert stats.cached >= 1
+        assert [c.row() for c in again.cells] == \
+            [c.row() for c in legacy.cells]
+
+    def test_cell_fingerprints_match_store_records(self, tmp_path):
+        import json
+        store = tmp_path / "store.jsonl"
+        run_campaign(SPEC, store=store)
+        recorded = {json.loads(line)["fp"]
+                    for line in store.read_text().splitlines()}
+        fps = cell_fingerprints(SPEC)
+        assert fps and set(fps.values()) <= recorded
+
+    def test_run_cell_spec_matches_legacy(self):
+        def results(cell):
+            # Everything but the wall-time measurement fields.
+            return {key: value for key, value in cell.row().items()
+                    if not key.endswith("_time_s")}
+        with pytest.deprecated_call():
+            legacy = run_cell(MINI_NVIDIA, "vectoradd", **KWARGS)
+        assert results(run_cell(SPEC)) == results(legacy)
+
+    def test_spec_file_expression_matches_in_memory_spec(self, tmp_path):
+        # The third expression of the acceptance contract: a spec file
+        # (named chips resolve to the same scaled configs).
+        spec = CampaignSpec(gpus=("gtx480",), workloads=("vectoradd",),
+                            scale="tiny", samples=4)
+        path = tmp_path / "cell.toml"
+        spec.to_file(path)
+        loaded = CampaignSpec.from_file(path)
+        assert cell_fingerprints(loaded) == cell_fingerprints(spec)
+
+
+class TestDeprecatedShims:
+    """Every legacy entry point shims with a DeprecationWarning."""
+
+    def test_run_cell_legacy_warns(self):
+        with pytest.deprecated_call():
+            run_cell(MINI_NVIDIA, "vectoradd", scale="tiny", samples=2)
+
+    def test_run_matrix_legacy_warns(self):
+        with pytest.deprecated_call():
+            run_matrix(gpus=[MINI_NVIDIA], workloads=["vectoradd"],
+                       scale="tiny", samples=2)
+
+    def test_run_campaign_legacy_warns(self):
+        with pytest.deprecated_call():
+            run_campaign(gpus=[MINI_NVIDIA], workloads=["vectoradd"],
+                         scale="tiny", samples=2)
+
+    def test_fig_harness_legacy_warns(self):
+        from repro.experiments.fig1_regfile_avf import run_fig1
+        with pytest.deprecated_call():
+            run_fig1(gpus=[MINI_NVIDIA], workloads=["vectoradd"],
+                     scale="tiny", samples=2)
+
+    def test_structures_alias_warns(self):
+        import repro.sim.faults as faults
+        from repro.arch.structures import DATAPATH_STRUCTURES
+        with pytest.deprecated_call():
+            value = faults.STRUCTURES
+        assert value == DATAPATH_STRUCTURES
+
+    def test_run_cell_legacy_positionals_and_keyword_name(self):
+        # The old signature accepted run_cell(config, workload, scale,
+        # samples, seed, ...) positionally and workload_name= as a
+        # keyword.
+        with pytest.deprecated_call():
+            positional = run_cell(MINI_NVIDIA, "vectoradd", "tiny", 2, 7)
+        with pytest.deprecated_call():
+            keyword = run_cell(config=MINI_NVIDIA,
+                               workload_name="vectoradd",
+                               scale="tiny", samples=2, seed=7)
+        assert positional.scale == keyword.scale == "tiny"
+        assert positional.samples == keyword.samples == 2
+        assert positional.seed == keyword.seed == 7
+        with pytest.raises(ConfigError, match="positional"):
+            run_cell(MINI_NVIDIA, "vectoradd", "tiny", 2, 0, "rr",
+                     ("register_file",), "conservative", 1e-3, "extra")
+
+    def test_bare_legacy_calls_keep_full_size_gpu_default(self, monkeypatch):
+        # The kwarg era defaulted to the *full-size* presets; spec-less
+        # calls must keep doing so (a bare CampaignSpec resolves to the
+        # scaled ones). Stub the preset list so the campaign stays tiny.
+        import repro.arch.presets as presets
+        import repro.engine.matrix as matrix
+        monkeypatch.setattr(presets, "list_gpus", lambda: [MINI_NVIDIA])
+        monkeypatch.setattr(matrix, "list_gpus", lambda: [MINI_NVIDIA])
+        with pytest.deprecated_call():
+            cells = run_matrix(workloads=["vectoradd"], scale="tiny",
+                               samples=2)
+        assert [c.gpu for c in cells] == [MINI_NVIDIA.name]
+        with pytest.deprecated_call():
+            result = run_campaign(workloads=["vectoradd"], scale="tiny",
+                                  samples=2)
+        assert [c.gpu for c in result.cells] == [MINI_NVIDIA.name]
+
+    def test_spec_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_cell(SPEC.replace(samples=2))
+
+    def test_bare_legacy_matrix_call_does_not_warn(self, monkeypatch):
+        # run_matrix() with zero kwargs keeps the legacy full-size
+        # default *silently* — there are no kwargs to migrate, and the
+        # generic warning's hint would change which chips run.
+        import repro.arch.presets as presets
+        import repro.engine.matrix as matrix
+        monkeypatch.setattr(presets, "list_gpus", lambda: [MINI_NVIDIA])
+        monkeypatch.setattr(matrix, "list_gpus", lambda: [MINI_NVIDIA])
+        monkeypatch.setenv("REPRO_FI_SAMPLES", "2")
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setattr("repro.spec.campaign.KERNEL_NAMES",
+                            ("vectoradd",))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cells = run_matrix()
+        assert [c.gpu for c in cells] == [MINI_NVIDIA.name]
+
+    def test_spec_plus_legacy_kwargs_is_an_error(self):
+        with pytest.raises(ConfigError, match="both"):
+            run_matrix(SPEC, samples=3)
+
+    def test_spec_plus_explicit_none_kwargs_is_fine(self):
+        # None meant "default" in every legacy signature; a partially
+        # migrated caller passing spec plus fault_model=None must work.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cells = run_matrix(SPEC.replace(samples=2), fault_model=None)
+        assert len(cells) == 1
+
+    def test_unknown_legacy_kwarg_is_config_error(self):
+        with pytest.raises(ConfigError, match="smaples"):
+            run_matrix(smaples=3)
+
+    def test_non_spec_positional_is_config_error(self):
+        with pytest.raises(ConfigError, match="CampaignSpec"):
+            run_matrix("gtx480")
+        # Old positional gpus-list form gets a migration hint.
+        with pytest.raises(ConfigError, match="gpus="):
+            run_matrix([MINI_NVIDIA])
+
+    def test_run_cell_duplicate_positional_keyword_raises(self):
+        with pytest.raises(ConfigError, match="multiple values"):
+            run_cell(MINI_NVIDIA, "vectoradd", "small", scale="tiny")
+
+
+class TestHarnessSpecPath:
+    """The fig harnesses consume specs and fill their own defaults."""
+
+    def test_fig2_defaults_local_memory_and_subset(self):
+        from repro.experiments.fig2_localmem_avf import (
+            local_memory_workloads,
+            run_fig2,
+        )
+        spec = CampaignSpec(gpus=(MINI_NVIDIA,), workloads=("histogram",),
+                            scale="tiny", samples=2)
+        cells, report = run_fig2(spec)
+        assert [c.workload for c in cells] == ["histogram"]
+        assert "Local Memory" in report
+        # Unset workloads resolve to the local-memory subset.
+        bare = CampaignSpec(gpus=(MINI_NVIDIA,), scale="tiny", samples=2)
+        cells, _ = run_fig2(bare.replace(workloads=None))
+        assert {c.workload for c in cells} == \
+            set(local_memory_workloads("tiny"))
+
+    def test_model_compare_spec_and_subset(self):
+        from repro.experiments.fig_model_compare import run_model_compare
+        spec = CampaignSpec(gpus=(MINI_NVIDIA,), workloads=("vectoradd",),
+                            scale="tiny", samples=2)
+        cells, report = run_model_compare(spec,
+                                          fault_models=["stuck_at"])
+        assert [c.fault_model for c in cells] == ["stuck_at"]
+        assert "stuck_at" in report
+        assert "models: stuck_at)" in report  # the only compared model
+        # Legacy fault_model kwarg restricts the comparison, as before.
+        with pytest.deprecated_call():
+            cells, _ = run_model_compare(
+                gpus=[MINI_NVIDIA], workloads=["vectoradd"], scale="tiny",
+                samples=2, fault_model="mbu")
+        assert [c.fault_model for c in cells] == ["mbu"]
+
+
+class TestRunSweep:
+    def test_sweep_shares_store_and_goldens(self, tmp_path):
+        store = tmp_path / "sweep.jsonl"
+        base = SPEC.replace(samples=4, name="mini")
+        stats = CampaignStats()
+        result = run_sweep(base, {"fault_model": ["transient", "stuck_at"]},
+                           store=store, stats=stats)
+        assert len(result.runs) == 2
+        assert [run.spec.fault_model for run in result.runs] == \
+            ["transient", "stuck_at"]
+        # One golden simulation serves both children: the second
+        # child's golden job is always a cache hit (at most one
+        # execution — zero when an earlier test already warmed the
+        # engine's in-process golden cache).
+        golden = stats.by_kind["golden"]
+        assert golden["cached"] + golden["executed"] == 2
+        assert golden["executed"] <= 1
+        assert golden["cached"] >= 1
+        assert result.cells and len(result.cells) == 2
+        summary = result.summary()
+        assert "fault_model=stuck_at" in summary
+        assert "Sweep summary" in summary
+
+    def test_sweep_rerun_is_fully_cached(self, tmp_path):
+        store = tmp_path / "sweep.jsonl"
+        base = SPEC.replace(samples=4)
+        axes = {"seed": [0, 1]}
+        run_sweep(base, axes, store=store)
+        stats = CampaignStats()
+        run_sweep(base, axes, store=store, stats=stats)
+        assert stats.executed == 0
