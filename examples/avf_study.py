@@ -8,8 +8,13 @@ full `repro-experiments fig1`/`fig2` campaigns.
 Run:  python examples/avf_study.py
 """
 
-from repro import LOCAL_MEMORY, REGISTER_FILE, CampaignSpec, run_matrix
-from repro.reliability.report import format_avf_figure
+from repro import (
+    LOCAL_MEMORY,
+    REGISTER_FILE,
+    CampaignSpec,
+    format_avf_figure,
+    run_matrix,
+)
 
 GPUS = ("hd7970", "gtx480")
 BENCHMARKS = ("matrixMul", "reduction", "histogram")

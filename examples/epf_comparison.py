@@ -8,8 +8,13 @@ finishing executions faster. Run on vectoradd for a quick demo.
 Run:  python examples/epf_comparison.py
 """
 
-from repro import LOCAL_MEMORY, REGISTER_FILE, CampaignSpec, run_matrix
-from repro.reliability.report import format_epf_figure
+from repro import (
+    LOCAL_MEMORY,
+    REGISTER_FILE,
+    CampaignSpec,
+    format_epf_figure,
+    run_matrix,
+)
 
 BENCHMARK = "vectoradd"
 

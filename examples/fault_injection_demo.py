@@ -13,14 +13,14 @@ import numpy as np
 
 from repro import (
     REGISTER_FILE,
+    EventRecorder,
     FaultPlan,
     Gpu,
+    SimFault,
     get_scaled_gpu,
     get_workload,
     run_workload,
 )
-from repro.errors import SimFault
-from repro.sim.tracing import EventRecorder
 
 
 def main() -> None:

@@ -54,6 +54,7 @@ from repro.engine import (
     ResultStore,
     run_campaign,
 )
+from repro.engine.matrix import cell_fingerprints
 from repro.errors import (
     AssemblyError,
     ConfigError,
@@ -96,13 +97,27 @@ from repro.reliability import (
     run_golden,
     run_matrix,
 )
+from repro.reliability.report import (
+    format_ace_vs_fi,
+    format_avf_figure,
+    format_control_avf,
+    format_epf_figure,
+    format_model_compare,
+    format_sweep_summary,
+    write_cells_csv,
+)
 from repro.sim import (
+    CompositeSink,
+    EventRecorder,
     FaultPlan,
     Gpu,
+    JsonlTraceSink,
     LOCAL_MEMORY,
     LaunchConfig,
     REGISTER_FILE,
+    TraceSink,
     pack_params,
+    read_trace_events,
     sample_faults,
 )
 from repro.spec import (
@@ -111,6 +126,15 @@ from repro.spec import (
     SweepResult,
     expand_sweep,
     run_sweep,
+)
+from repro.telemetry import (
+    CallbackTelemetrySink,
+    JsonlTelemetrySink,
+    MemoryTelemetrySink,
+    TelemetryHub,
+    TelemetrySink,
+    load_telemetry,
+    telemetry_path_for_store,
 )
 
 __version__ = "1.0.0"
@@ -139,6 +163,14 @@ __all__ = [
     "expand_sweep", "run_sweep",
     # campaign engine
     "run_campaign", "CampaignResult", "CampaignStats", "ResultStore",
+    "cell_fingerprints",
+    # engine telemetry (observability)
+    "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
+    "CallbackTelemetrySink", "TelemetryHub",
+    "load_telemetry", "telemetry_path_for_store",
+    # simulator access traces
+    "TraceSink", "CompositeSink", "EventRecorder", "JsonlTraceSink",
+    "read_trace_events",
     # checkpointing
     "CheckpointRecorder", "SnapshotSet", "capture_snapshots",
     # reliability
@@ -146,6 +178,10 @@ __all__ = [
     "CellResult", "AvfEstimate", "AceMode", "Outcome",
     "compute_epf", "EpfResult", "RAW_FIT_PER_BIT",
     "margin_of_error", "required_samples",
+    # reports (figure/table formatters, CSV export)
+    "format_avf_figure", "format_epf_figure", "format_control_avf",
+    "format_model_compare", "format_sweep_summary", "format_ace_vs_fi",
+    "write_cells_csv",
     # errors
     "ReproError", "ConfigError", "AssemblyError", "LaunchError",
     "SimFault", "MemoryFault", "WatchdogTimeout",

@@ -16,6 +16,7 @@ resume with zero jobs executed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -220,6 +221,7 @@ def cell_fingerprints(spec) -> dict:
 def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
                  workers: int = 1, progress=None,
                  stats: CampaignStats | None = None,
+                 telemetry=None,
                  **legacy) -> CampaignResult:
     """Run (or resume) an evaluation matrix on the job engine.
 
@@ -251,6 +253,15 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
     the interval joins only the *cell* fingerprint (omitted when off),
     so pre-checkpoint stores still resume and a checkpointed resume of
     one reuses every simulation job.
+
+    ``telemetry`` — ``None`` defers to the spec's ``telemetry`` field;
+    otherwise it overrides it: ``False`` forces telemetry off, ``True``
+    writes the event stream as JSONL next to the persistent store, a
+    path writes there, and a ``TelemetrySink``/``TelemetryHub``
+    receives the events directly (see
+    :func:`repro.telemetry.resolve_telemetry`). Telemetry is strictly
+    observability-only: it joins no fingerprint, and the result store
+    is bit-identical with it on or off.
     """
     from repro.spec import coerce_spec
     # The kwarg era defaulted to the full-size presets here (the
@@ -270,6 +281,9 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
     if own_store:
         store = ResultStore(store)
     stats = stats if stats is not None else CampaignStats()
+    from repro.telemetry import resolve_telemetry
+    hub, own_hub = resolve_telemetry(
+        spec.telemetry if telemetry is None else telemetry, store)
 
     specs: list[JobSpec] = []
     cell_ids: list[str] = []
@@ -291,16 +305,70 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
         )
 
     def on_complete(job: JobSpec, payload: dict, cached: bool) -> None:
-        if progress is not None and job.kind == jobs.CELL:
-            progress(jobs.cell_from_payload(payload))
+        if job.kind == jobs.CELL:
+            if hub is not None:
+                hub.record("cell_finish", **_cell_event(payload, cached))
+            if progress is not None:
+                progress(jobs.cell_from_payload(payload))
 
+    begin = time.perf_counter()
+    # Shared stats objects accumulate across campaigns (sweeps, `all`);
+    # campaign_end reports this campaign's delta, not the running sum.
+    base = (stats.total, stats.cached, stats.executed)
+    if hub is not None:
+        hub.record(
+            "campaign_begin",
+            name=spec.name,
+            spec=spec.describe(),
+            gpus=[config.name for config in spec.resolved_gpus()],
+            workloads=spec.resolved_workloads(),
+            scale=scale, samples=samples, seed=spec.seed,
+            fault_model=spec.fault_model,
+            structures=list(spec.resolved_structures()),
+            cells=len(cell_ids), workers=workers,
+            store=str(store.path) if store is not None and store.path
+            else None)
     try:
-        resolved = JobScheduler(store=store, workers=workers).run(
+        resolved = JobScheduler(store=store, workers=workers,
+                                telemetry=hub).run(
             specs, on_complete=on_complete, stats=stats)
+        if hub is not None:
+            hub.record(
+                "campaign_end", name=spec.name, cells=len(cell_ids),
+                jobs_total=stats.total - base[0],
+                jobs_cached=stats.cached - base[1],
+                jobs_executed=stats.executed - base[2],
+                wall_s=time.perf_counter() - begin)
     finally:
+        if own_hub and hub is not None:
+            hub.close()
         if own_store:
             store.close()
     cells: list[CellResult] = [
         jobs.cell_from_payload(resolved[cell_id]) for cell_id in cell_ids
     ]
     return CampaignResult(cells=cells, stats=stats)
+
+
+def _cell_event(payload: dict, cached: bool) -> dict:
+    """Scalar cell_finish telemetry fields from one cell payload.
+
+    ``injections`` counts every sampled plan across the cell's
+    structures, ``resimulated`` the subset that survived dead-site
+    pruning and was actually re-simulated — the FI shards' true work,
+    and the numerator of the `status` view's samples/sec.
+    """
+    estimates = payload.get("fi", {})
+    injections = sum(est.get("samples", 0) for est in estimates.values())
+    resimulated = sum(est.get("resimulated", 0) for est in estimates.values())
+    fi_time_s = payload.get("fi_time_s", 0.0)
+    return {
+        "gpu": payload.get("gpu"),
+        "workload": payload.get("workload"),
+        "cycles": payload.get("cycles"),
+        "injections": injections,
+        "resimulated": resimulated,
+        "fi_time_s": fi_time_s,
+        "samples_per_s": (resimulated / fi_time_s) if fi_time_s else None,
+        "cached": cached,
+    }

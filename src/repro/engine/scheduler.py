@@ -21,6 +21,7 @@ worker count nor the completion order can change any result.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable
@@ -59,6 +60,21 @@ def _memory_cache_put(fp: str, payload: dict) -> None:
 def clear_memory_cache() -> None:
     """Drop the in-process golden-run cache (benchmarks use this)."""
     _MEMORY_CACHE.clear()
+
+
+def _payload_work_s(payload, default: float) -> float:
+    """A job's in-worker seconds for telemetry (occupancy basis).
+
+    Golden/plan/shard payloads self-report ``wall_time_s`` measured
+    inside the worker; preferring it keeps pool queue wait out of the
+    occupancy numbers. Reductions (no self-report) fall back to the
+    driver-observed wall time.
+    """
+    if isinstance(payload, dict):
+        work = payload.get("wall_time_s")
+        if isinstance(work, (int, float)):
+            return float(work)
+    return default
 
 
 @dataclass
@@ -124,11 +140,22 @@ class CampaignStats:
 
 
 class JobScheduler:
-    """Execute a (dynamically expanding) job DAG with store caching."""
+    """Execute a (dynamically expanding) job DAG with store caching.
 
-    def __init__(self, store: ResultStore | None = None, workers: int = 1):
+    ``telemetry`` (a :class:`repro.telemetry.TelemetryHub`, optional)
+    receives the scheduler's observability stream: per-job
+    ``job_start`` / ``job_finish`` / ``job_cached`` events carrying
+    the queue depth and in-flight worker count at emission time, and
+    ``golden_cache`` hit/miss probes of the in-process memory cache.
+    Emission is strictly observability-only — it never changes job
+    admission order, payloads, or anything the store records.
+    """
+
+    def __init__(self, store: ResultStore | None = None, workers: int = 1,
+                 telemetry=None):
         self.store = store
         self.workers = max(1, int(workers))
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[JobSpec], on_complete: Callable | None = None,
@@ -157,9 +184,26 @@ class _RunState:
         self.store = scheduler.store
         self.on_complete = on_complete
         self.stats = stats
+        self.telemetry = scheduler.telemetry
+        self.workers = scheduler.workers
+        self.running = 0
         self.resolved: dict[str, dict] = {}
         self.pending: dict[str, JobSpec] = {}
         self.seen: set[str] = set()
+
+    def emit(self, event_type: str, job: JobSpec, **fields) -> None:
+        """One telemetry event about ``job`` (no-op with telemetry off).
+
+        Every event carries the job's kind and fingerprint plus the
+        scheduler pressure at emission time: ``queue_depth`` (jobs
+        admitted but not yet runnable/running) and ``running``
+        (in-flight jobs) against the pool size.
+        """
+        if self.telemetry is not None:
+            self.telemetry.record(
+                event_type, kind=job.kind, fp=job.fingerprint,
+                queue_depth=len(self.pending), running=self.running,
+                workers=self.workers, **fields)
 
     # ------------------------------------------------------------------
     def admit(self, job: JobSpec) -> None:
@@ -170,13 +214,16 @@ class _RunState:
         payload = None
         if job.cache_in_memory:
             payload = _memory_cache_get(job.fingerprint)
+            self.emit("golden_cache", job, hit=payload is not None)
         if payload is not None:
             # Backfill stores that predate this cached payload, so a
             # later --resume still finds the complete job chain.
             if self.store is not None and job.fingerprint not in self.store:
                 self.store.put(job.fingerprint, job.kind, payload)
+            self.emit("job_cached", job, source="memory")
         elif self.store is not None and job.fingerprint in self.store:
             payload = self.store.get(job.fingerprint)
+            self.emit("job_cached", job, source="store")
         if payload is not None:
             self.finish(job, payload, cached=True)
         else:
@@ -204,10 +251,17 @@ class _RunState:
 
     def execute_inline(self, job: JobSpec) -> None:
         deps = self.dep_payloads(job)
+        self.running += 1
+        self.emit("job_start", job)
+        start = time.perf_counter()
         if job.worker is not None:
             payload = job.worker(job.make_args(deps))
         else:
             payload = job.reduce_fn(deps)
+        wall_s = time.perf_counter() - start
+        self.running -= 1
+        self.emit("job_finish", job, wall_s=wall_s,
+                  work_s=_payload_work_s(payload, wall_s))
         self.finish(job, payload, cached=False)
 
     # ------------------------------------------------------------------
@@ -244,12 +298,23 @@ class _RunState:
                             self.execute_inline(job)
                         else:
                             args = job.make_args(self.dep_payloads(job))
-                            futures[pool.submit(job.worker, args)] = job
+                            future = pool.submit(job.worker, args)
+                            self.running = len(futures) + 1
+                            self.emit("job_start", job)
+                            futures[future] = (job, time.perf_counter())
 
             submit_ready()
             while futures:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    job = futures.pop(future)
-                    self.finish(job, future.result(), cached=False)
+                    job, submitted = futures.pop(future)
+                    payload = future.result()
+                    # wall_s spans submit -> completion (including any
+                    # wait for a free worker); work_s is the body's own
+                    # in-worker measurement, the occupancy basis.
+                    wall_s = time.perf_counter() - submitted
+                    self.running = len(futures)
+                    self.emit("job_finish", job, wall_s=wall_s,
+                              work_s=_payload_work_s(payload, wall_s))
+                    self.finish(job, payload, cached=False)
                 submit_ready()

@@ -2,19 +2,27 @@
 
 Campaigns are configured by one declarative
 :class:`repro.spec.CampaignSpec` object, and the CLI is a thin layer
-over it: the figure subcommands (``fig1`` .. ``model_compare``) build
-a spec from their flags, while the two spec-first subcommands run
-checked-in campaign artifacts directly:
+of argparse *subcommands* over it, sharing one set of option groups:
 
-* ``repro-experiments run path/to/spec.toml`` — execute a TOML/JSON
-  spec file. ``--set key=value`` overrides individual spec fields;
-  unknown keys and invalid values are registry-validated errors
-  naming the valid choices.
-* ``repro-experiments sweep path/to/spec.toml --axis key=v1,v2 ...``
-  — expand the spec by an axis product (``--axis`` repeats; integer
-  axes accept ``0..4`` ranges, set-valued axes join names with
-  ``+``), run every child campaign against one shared result store
-  and golden cache, and print a per-axis summary table.
+* the figure subcommands (``fig1`` ``fig2`` ``fig3`` ``control``
+  ``models`` ``all``) build a spec from their campaign flags and run
+  the matching harness. ``control_avf`` / ``model_compare`` are the
+  pre-subparser names and still dispatch (with a
+  :class:`DeprecationWarning`);
+* ``run path/to/spec.toml`` executes a TOML/JSON spec file.
+  ``--set key=value`` overrides individual spec fields; unknown keys
+  and invalid values are registry-validated errors naming the valid
+  choices;
+* ``sweep path/to/spec.toml --axis key=v1,v2 ...`` expands the spec
+  by an axis product (``--axis`` repeats; integer axes accept
+  ``0..4`` ranges, set-valued axes join names with ``+``), runs every
+  child campaign against one shared result store and golden cache,
+  and prints a per-axis summary table;
+* ``status STORE`` renders the campaign monitor for a result store —
+  per-kind job counts, cache hit rates, worker occupancy, injection
+  throughput and (for an in-progress campaign) an ETA — from the
+  telemetry stream recorded next to the store
+  (:mod:`repro.telemetry`).
 
 Campaigns run on the job-graph execution engine: golden runs are
 shared between figures, ``--workers`` runs whole (GPU, benchmark)
@@ -25,10 +33,17 @@ executed) is printed after each run. Spec fields map onto the same
 job fingerprints as the pre-spec kwarg era, so old stores resume with
 zero jobs executed.
 
+``run`` and ``sweep`` take ``--telemetry [PATH]`` / ``--no-telemetry``
+to record (or suppress) the engine's observability event stream —
+JSONL next to the ``--resume`` store by default, at ``PATH`` when
+given, overriding the spec's own ``telemetry`` field either way.
+Telemetry never changes results: stores are bit-identical with it on
+or off.
+
 The fault model is a first-class campaign axis: ``--fault-model``
 selects transient bit flips (the paper's model, default), permanent
 stuck-at defects, or multi-bit upsets for any experiment, and the
-``model_compare`` experiment tabulates per-GPU AVF across all models.
+``models`` experiment tabulates per-GPU AVF across all models.
 
 Campaigns checkpoint by default: golden runs capture full-machine
 snapshots so every live fault simulates only its suffix, with the
@@ -41,7 +56,7 @@ way.
 The fault-site taxonomy is a campaign axis too: ``--structures``
 retargets any experiment at a subset of the structure registry
 (datapath: register_file, local_memory; control: simt_stack,
-predicate_file, scheduler_state), and the ``control_avf`` experiment
+predicate_file, scheduler_state), and the ``control`` experiment
 reports per-GPU control-structure AVF alongside Fig. 1/2.
 
 Examples::
@@ -49,13 +64,15 @@ Examples::
     repro-experiments fig1 --samples 200 --scale small --out results/fig1.csv
     repro-experiments fig3 --gpus gtx480 hd7970 --workloads matrixMul kmeans
     repro-experiments fig1 --fault-model stuck_at --samples 200
-    repro-experiments model_compare --workers 8 --resume results/store.jsonl
+    repro-experiments models --workers 8 --resume results/store.jsonl
     repro-experiments all --workers 8 --resume results/store.jsonl
     repro-experiments run examples/specs/smoke_fig1.toml
     repro-experiments run campaign.toml --set samples=500 --set scale=small
+    repro-experiments run campaign.toml --resume results/store.jsonl --telemetry
     repro-experiments sweep campaign.toml --axis fault_model=transient,stuck_at \
         --axis seed=0..2 --resume results/sweep.jsonl
-    repro-experiments control_avf --structures simt_stack,predicate_file
+    repro-experiments status results/store.jsonl
+    repro-experiments control --structures simt_stack,predicate_file
     repro-experiments --list-gpus
     repro-experiments --list-fault-models
     repro-experiments --list-structures
@@ -65,8 +82,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+import warnings
+from pathlib import Path
 
 from repro.arch.presets import GPU_ALIASES, GPU_PRESETS
 from repro.arch.structures import STRUCTURE_REGISTRY, structure_info
@@ -93,29 +113,121 @@ _EXPERIMENTS = {
     "fig1": run_fig1,
     "fig2": run_fig2,
     "fig3": run_fig3,
-    "control_avf": run_control_avf,
-    "model_compare": run_model_compare,
+    "control": run_control_avf,
+    "models": run_model_compare,
 }
 
-#: ``all`` reproduces the paper's figures (model_compare is opt-in).
+#: ``all`` reproduces the paper's figures (models is opt-in).
 _FIGURES = ("fig1", "fig2", "fig3")
 
-#: Spec-first subcommands, dispatched before the figure parser.
-_SPEC_COMMANDS = ("run", "sweep")
+#: Pre-subparser experiment names, kept dispatching with a warning.
+_LEGACY_NAMES = {"control_avf": "control", "model_compare": "models"}
 
 
-def _parse_args(argv):
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the figures of Vallero et al., ISPASS 2017 "
-                    "(see also the spec-file subcommands: "
-                    "'run SPEC' and 'sweep SPEC --axis key=v1,v2').",
+# ----------------------------------------------------------------------
+# Shared option groups (argparse parent parsers)
+# ----------------------------------------------------------------------
+
+def _campaign_parent() -> argparse.ArgumentParser:
+    """The figure subcommands' campaign-axis flags (spec fields)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("campaign axes")
+    group.add_argument(
+        "--structures", nargs="+", default=None, metavar="STRUCT",
+        help="retarget the campaign at these structures (space- or "
+             f"comma-separated; registry: {', '.join(STRUCTURE_REGISTRY)}; "
+             "default: each experiment's own set)",
     )
-    parser.add_argument(
-        "experiment", choices=sorted(_EXPERIMENTS) + ["all"], nargs="?",
-        help="which figure to regenerate (or use the 'run'/'sweep' "
-             "spec-file subcommands)",
+    group.add_argument(
+        "--fault-model", choices=list_fault_models(), default=None,
+        metavar="MODEL",
+        help="fault model for the campaign: "
+             f"{', '.join(list_fault_models())} (default: transient, "
+             "the paper's single-bit-flip model)",
     )
+    group.add_argument(
+        "--samples", type=int, default=None,
+        help="fault injections per structure (paper: 2000; default: "
+             "REPRO_FI_SAMPLES or 150)",
+    )
+    group.add_argument(
+        "--scale", choices=("tiny", "small", "default"), default=None,
+        help="workload input scale (default: REPRO_SCALE or small)",
+    )
+    group.add_argument(
+        "--gpus", nargs="+", default=None, metavar="GPU",
+        help="chip subset by name/alias (default: all four, scaled)",
+    )
+    group.add_argument(
+        "--workloads", nargs="+", default=None, metavar="BENCH",
+        choices=list(KERNEL_NAMES), help="benchmark subset",
+    )
+    group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="live fault plans per FI-shard job (default: 24; any value "
+             "gives identical results)",
+    )
+    group.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="CYCLES",
+        help="golden-run snapshot stride in cycles for suffix-only fault "
+             "injection (default: auto — self-tuning doubling schedule; "
+             "any value gives identical results)",
+    )
+    group.add_argument(
+        "--no-checkpoints", action="store_true",
+        help="disable golden-run snapshots: re-simulate every live fault "
+             "from cycle zero (bit-identical, slower)",
+    )
+    return parent
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """Execution-resource flags shared by every campaign subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; cells run concurrently across the pool "
+             "(default: serial; results are identical for any value)",
+    )
+    group.add_argument(
+        "--resume", default=None, metavar="STORE",
+        help="persistent result store (JSONL): finished jobs are loaded "
+             "instead of re-executed, new ones are appended — interrupted "
+             "campaigns resume, repeated ones are incremental",
+    )
+    group.add_argument(
+        "--out", default=None, metavar="CSV",
+        help="also write the cells to this CSV path (figure name is "
+             "appended when running 'all')",
+    )
+    group.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress lines",
+    )
+    return parent
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """The ``run``/``sweep`` telemetry flags (observability stream)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--telemetry", nargs="?", const=True, default=None, metavar="PATH",
+        help="record the engine telemetry event stream as JSONL — next to "
+             "the --resume store when PATH is omitted; overrides the "
+             "spec's own 'telemetry' field. Observability-only: results "
+             "are bit-identical with or without it",
+    )
+    group.add_argument(
+        "--no-telemetry", action="store_true",
+        help="force telemetry off even when the spec file enables it",
+    )
+    return parent
+
+
+def _add_list_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list-gpus", action="store_true",
         help="list the known chips (and their CLI aliases) and exit",
@@ -133,70 +245,100 @@ def _parse_args(argv):
         help="list the fault-site structure registry (geometry, exposing "
              "ISAs) and exit",
     )
-    parser.add_argument(
-        "--structures", nargs="+", default=None, metavar="STRUCT",
-        help="retarget the campaign at these structures (space- or "
-             f"comma-separated; registry: {', '.join(STRUCTURE_REGISTRY)}; "
-             "default: each experiment's own set)",
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    campaign = _campaign_parent()
+    execution = _exec_parent()
+    telemetry = _telemetry_parent()
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Vallero et al., ISPASS 2017 "
+                    "— plus the spec-file subcommands 'run SPEC' / "
+                    "'sweep SPEC --axis key=v1,v2' and the campaign "
+                    "monitor 'status STORE'.",
     )
-    parser.add_argument(
-        "--fault-model", choices=list_fault_models(), default=None,
-        metavar="MODEL",
-        help="fault model for the campaign: "
-             f"{', '.join(list_fault_models())} (default: transient, "
-             "the paper's single-bit-flip model)",
+    _add_list_flags(parser)
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    figure_help = {
+        "fig1": "register-file AVF (paper Fig. 1)",
+        "fig2": "local-memory AVF (paper Fig. 2)",
+        "fig3": "executions-per-failure (paper Fig. 3)",
+        "control": "control-structure AVF (beyond the paper; "
+                   "was 'control_avf')",
+        "models": "per-GPU AVF across every fault model "
+                  "(was 'model_compare')",
+        "all": "fig1 + fig2 + fig3 in one campaign",
+    }
+    for name in (*_EXPERIMENTS, "all"):
+        sub.add_parser(
+            name, parents=[campaign, execution], help=figure_help[name],
+            description=f"Run the {figure_help[name]} experiment.")
+
+    run_parser = sub.add_parser(
+        "run", parents=[execution, telemetry],
+        help="execute a TOML/JSON campaign spec file",
+        description="Execute a TOML/JSON campaign spec file.")
+    run_parser.add_argument("spec", help="path to the .toml/.json spec file")
+    run_parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one spec field (repeatable); unknown keys are "
+             f"errors — valid: {', '.join(SPEC_FIELDS)}",
     )
-    parser.add_argument(
-        "--samples", type=int, default=None,
-        help="fault injections per structure (paper: 2000; default: "
-             "REPRO_FI_SAMPLES or 150)",
+
+    sweep_parser = sub.add_parser(
+        "sweep", parents=[execution, telemetry],
+        help="expand a spec file by an axis product and run every child",
+        description="Expand a spec file by an axis product and run every "
+                    "child campaign against one shared store.")
+    sweep_parser.add_argument("spec", help="path to the .toml/.json base spec")
+    sweep_parser.add_argument(
+        "--axis", action="append", default=None, metavar="KEY=V1,V2",
+        help="one sweep axis (repeatable, required at least once); "
+             "integer axes accept a..b ranges, set-valued axes join "
+             "names with '+'",
     )
-    parser.add_argument(
-        "--scale", choices=("tiny", "small", "default"), default=None,
-        help="workload input scale (default: REPRO_SCALE or small)",
+    sweep_parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one base-spec field before expansion (repeatable)",
     )
-    parser.add_argument(
-        "--gpus", nargs="+", default=None, metavar="GPU",
-        help="chip subset by name/alias (default: all four, scaled)",
+
+    status_parser = sub.add_parser(
+        "status",
+        help="render the campaign monitor for a result store",
+        description="Render the campaign monitor for a result store: "
+                    "per-kind job counts, cache hit rates, worker "
+                    "occupancy, throughput and ETA, from the telemetry "
+                    "stream recorded next to the store.")
+    status_parser.add_argument(
+        "store", help="path to the result store (JSONL)")
+    status_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="telemetry JSONL to read (default: the store's "
+             ".telemetry.jsonl sibling)",
     )
-    parser.add_argument(
-        "--workloads", nargs="+", default=None, metavar="BENCH",
-        choices=list(KERNEL_NAMES), help="benchmark subset",
-    )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool size; cells run concurrently across the pool "
-             "(default: serial; results are identical for any value)",
-    )
-    parser.add_argument(
-        "--resume", default=None, metavar="STORE",
-        help="persistent result store (JSONL): finished jobs are loaded "
-             "instead of re-executed, new ones are appended — interrupted "
-             "campaigns resume, repeated ones are incremental",
-    )
-    parser.add_argument(
-        "--shard-size", type=int, default=None, metavar="N",
-        help="live fault plans per FI-shard job (default: 24; any value "
-             "gives identical results)",
-    )
-    parser.add_argument(
-        "--checkpoint-interval", type=int, default=None, metavar="CYCLES",
-        help="golden-run snapshot stride in cycles for suffix-only fault "
-             "injection (default: auto — self-tuning doubling schedule; "
-             "any value gives identical results)",
-    )
-    parser.add_argument(
-        "--no-checkpoints", action="store_true",
-        help="disable golden-run snapshots: re-simulate every live fault "
-             "from cycle zero (bit-identical, slower)",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="CSV",
-        help="also write the cells to this CSV path (figure name is "
-             "appended when running 'all')",
-    )
-    return parser.parse_args(argv)
+    return parser
+
+
+def _rewrite_legacy(argv: list) -> list:
+    """Map pre-subparser experiment names onto the current commands.
+
+    The first non-flag token is the subcommand (every root flag is a
+    ``--list-*`` switch taking no value), so rewriting it is exact.
+    """
+    for index, token in enumerate(argv):
+        if token.startswith("-"):
+            continue
+        replacement = _LEGACY_NAMES.get(token)
+        if replacement is not None:
+            warnings.warn(
+                f"the {token!r} experiment name is deprecated; use "
+                f"{replacement!r}", DeprecationWarning, stacklevel=3)
+            argv = list(argv)
+            argv[index] = replacement
+        break
+    return argv
 
 
 def _validate_args(args) -> None:
@@ -209,7 +351,6 @@ def _validate_args(args) -> None:
     checks = (
         ("--samples", args.samples, 1),
         ("--seed", args.seed, 0),
-        ("--workers", args.workers, 1),
         ("--shard-size", args.shard_size, 1),
         ("--checkpoint-interval", args.checkpoint_interval, 1),
     )
@@ -268,6 +409,20 @@ def _spec_from_args(args) -> CampaignSpec:
         checkpoint_interval=_checkpoint_interval(args),
         shard_size=args.shard_size,
     )
+
+
+def _telemetry_arg(args):
+    """The run/sweep telemetry setting from the flag pair.
+
+    ``None`` defers to the spec's own ``telemetry`` field; ``False``
+    forces it off; ``True``/a path come from ``--telemetry [PATH]``.
+    """
+    if args.no_telemetry:
+        if args.telemetry is not None:
+            raise ConfigError(
+                "--telemetry and --no-telemetry are mutually exclusive")
+        return False
+    return args.telemetry
 
 
 def _progress(cell):
@@ -355,6 +510,13 @@ def _scalar_value(key: str, text: str):
             raise ConfigError(
                 f"spec field {key!r}: expected 'auto', 'none' or a cycle "
                 f"count, got {text!r}") from None
+    if key == "telemetry":
+        low = text.lower()
+        if low in ("true", "on", "1", "yes"):
+            return True
+        if low in ("false", "off", "0", "no", "none"):
+            return False
+        return text  # a JSONL path
     return text
 
 
@@ -413,46 +575,51 @@ def _axis_points(key: str, text: str) -> list:
 
 
 # ----------------------------------------------------------------------
-# `run` subcommand: execute one spec file
+# Subcommand bodies
 # ----------------------------------------------------------------------
 
-def _parse_run_args(argv):
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments run",
-        description="Execute a TOML/JSON campaign spec file.",
-    )
-    parser.add_argument("spec", help="path to the .toml/.json spec file")
-    parser.add_argument(
-        "--set", action="append", default=None, metavar="KEY=VALUE",
-        help="override one spec field (repeatable); unknown keys are "
-             f"errors — valid: {', '.join(SPEC_FIELDS)}",
-    )
-    parser.add_argument("--workers", type=int, default=1)
-    parser.add_argument(
-        "--resume", default=None, metavar="STORE",
-        help="persistent result store (JSONL), as for the figure commands",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="CSV",
-        help="also write the cells to this CSV path",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true",
-        help="suppress the per-cell progress lines",
-    )
-    return parser.parse_args(argv)
-
-
-def _main_run(argv) -> int:
-    args = _parse_run_args(argv)
+def _main_figures(args) -> int:
+    """The fig1/fig2/fig3/control/models/all experiment harnesses."""
+    _validate_args(args)
+    spec = _spec_from_args(args)
+    names = list(_FIGURES) if args.command == "all" else [args.command]
+    store = ResultStore(args.resume) if args.resume else None
     try:
-        if args.workers < 1:
-            raise ConfigError(f"--workers must be >= 1, got {args.workers}")
-        spec = CampaignSpec.from_file(args.spec)
-        spec = _apply_sets(spec, getattr(args, "set"))
-    except ConfigError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        for name in names:
+            out_csv = args.out
+            if out_csv and args.command == "all":
+                out_csv = out_csv.replace(".csv", f"_{name}.csv")
+            print(f"== running {name} ==", file=sys.stderr, flush=True)
+            stats = CampaignStats()
+            extra = {}
+            if name == "models":
+                # Preserve the pre-spec contract: a named model
+                # restricts the comparison, no flag compares them all.
+                extra["fault_models"] = (
+                    [args.fault_model] if args.fault_model else None)
+            _, report = _EXPERIMENTS[name](
+                spec,
+                out_csv=out_csv,
+                progress=None if args.quiet else _progress,
+                workers=args.workers,
+                store=store,
+                stats=stats,
+                **extra,
+            )
+            print(report)
+            print()
+            print(stats.summary(), file=sys.stderr, flush=True)
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _main_run(args) -> int:
+    """``run SPEC``: execute one spec file."""
+    spec = CampaignSpec.from_file(args.spec)
+    spec = _apply_sets(spec, getattr(args, "set"))
+    telemetry = _telemetry_arg(args)
     from repro.engine.matrix import run_campaign
     title = spec.name or args.spec
     print(f"== running spec {title} ==", file=sys.stderr, flush=True)
@@ -460,7 +627,8 @@ def _main_run(argv) -> int:
     stats = CampaignStats()
     result = run_campaign(
         spec, store=args.resume, workers=args.workers,
-        progress=None if args.quiet else _progress, stats=stats)
+        progress=None if args.quiet else _progress, stats=stats,
+        telemetry=telemetry)
     anchor = spec.resolved_structures()[0]
     # Cells whose chip does not expose the anchor structure never
     # sampled it; keep them out of the table instead of rendering a
@@ -478,67 +646,24 @@ def _main_run(argv) -> int:
     return 0
 
 
-# ----------------------------------------------------------------------
-# `sweep` subcommand: spec file x axis product
-# ----------------------------------------------------------------------
-
-def _parse_sweep_args(argv):
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments sweep",
-        description="Expand a spec file by an axis product and run every "
-                    "child campaign against one shared store.",
-    )
-    parser.add_argument("spec", help="path to the .toml/.json base spec")
-    parser.add_argument(
-        "--axis", action="append", default=None, metavar="KEY=V1,V2",
-        required=False,
-        help="one sweep axis (repeatable, required at least once); "
-             "integer axes accept a..b ranges, set-valued axes join "
-             "names with '+'",
-    )
-    parser.add_argument(
-        "--set", action="append", default=None, metavar="KEY=VALUE",
-        help="override one base-spec field before expansion (repeatable)",
-    )
-    parser.add_argument("--workers", type=int, default=1)
-    parser.add_argument(
-        "--resume", default=None, metavar="STORE",
-        help="shared persistent result store (JSONL) for every child",
-    )
-    parser.add_argument(
-        "--out", default=None, metavar="CSV",
-        help="also write every child's cells to this CSV path",
-    )
-    parser.add_argument(
-        "--quiet", action="store_true",
-        help="suppress the per-cell progress lines",
-    )
-    return parser.parse_args(argv)
-
-
-def _main_sweep(argv) -> int:
-    args = _parse_sweep_args(argv)
-    try:
-        if args.workers < 1:
-            raise ConfigError(f"--workers must be >= 1, got {args.workers}")
-        if not args.axis:
+def _main_sweep(args) -> int:
+    """``sweep SPEC --axis ...``: spec file x axis product."""
+    if not args.axis:
+        raise ConfigError(
+            "sweep needs at least one --axis key=v1,v2 "
+            f"(valid keys: {', '.join(f for f in SPEC_FIELDS if f != 'name')})")
+    spec = CampaignSpec.from_file(args.spec)
+    spec = _apply_sets(spec, getattr(args, "set"))
+    telemetry = _telemetry_arg(args)
+    axes: dict = {}
+    for text in args.axis:
+        key, value = _split_assignment(text, flag="--axis")
+        _check_set_key(key, flag="--axis")
+        if key in axes:
             raise ConfigError(
-                "sweep needs at least one --axis key=v1,v2 "
-                f"(valid keys: {', '.join(f for f in SPEC_FIELDS if f != 'name')})")
-        spec = CampaignSpec.from_file(args.spec)
-        spec = _apply_sets(spec, getattr(args, "set"))
-        axes: dict = {}
-        for text in args.axis:
-            key, value = _split_assignment(text, flag="--axis")
-            _check_set_key(key, flag="--axis")
-            if key in axes:
-                raise ConfigError(
-                    f"duplicate sweep axis {key!r}; give each --axis "
-                    f"once and comma-separate its values")
-            axes[key] = _axis_points(key, value)
-    except ConfigError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+                f"duplicate sweep axis {key!r}; give each --axis "
+                f"once and comma-separate its values")
+        axes[key] = _axis_points(key, value)
     title = spec.name or args.spec
     total = 1
     for values in axes.values():
@@ -548,7 +673,8 @@ def _main_sweep(argv) -> int:
     stats = CampaignStats()
     result = run_sweep(
         spec, axes, store=args.resume, workers=args.workers,
-        progress=None if args.quiet else _progress, stats=stats)
+        progress=None if args.quiet else _progress, stats=stats,
+        telemetry=telemetry)
     print(result.summary())
     if args.out:
         write_cells_csv(result.cells, args.out)
@@ -556,17 +682,36 @@ def _main_sweep(argv) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    argv = list(argv) if argv is not None else sys.argv[1:]
+def _main_status(args) -> int:
+    """``status STORE``: the campaign monitor panel."""
+    from repro.telemetry import (
+        aggregate_events,
+        format_status,
+        load_telemetry,
+        telemetry_path_for_store,
+    )
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise ConfigError(
+            f"result store not found: {store_path} (give the JSONL file a "
+            f"campaign wrote via --resume)")
+    store = ResultStore(store_path)
     try:
-        if argv and argv[0] == "run":
-            return _main_run(argv[1:])
-        if argv and argv[0] == "sweep":
-            return _main_sweep(argv[1:])
-    except ConfigError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    args = _parse_args(argv)
+        counts = store.counts_by_kind()
+    finally:
+        store.close()
+    telemetry_path = (Path(args.telemetry) if args.telemetry
+                      else telemetry_path_for_store(store_path))
+    events = load_telemetry(telemetry_path) if telemetry_path.exists() else []
+    print(format_status(store_path, counts, aggregate_events(events),
+                        telemetry_path=telemetry_path))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = _rewrite_legacy(
+        list(argv) if argv is not None else sys.argv[1:])
+    args = _build_parser().parse_args(argv)
     if args.list_gpus:
         _list_gpus()
         return 0
@@ -579,51 +724,35 @@ def main(argv=None) -> int:
     if args.list_structures:
         _list_structures()
         return 0
-    if args.experiment is None:
+    if args.command is None:
         print("error: an experiment "
-              f"({'|'.join(sorted(_EXPERIMENTS))}|all) or a spec subcommand "
-              "(run|sweep) is required unless "
+              f"({'|'.join((*sorted(_EXPERIMENTS), 'all'))}) or a "
+              "subcommand (run|sweep|status) is required unless "
               "--list-gpus/--list-workloads/--list-fault-models/"
               "--list-structures is given",
               file=sys.stderr)
         return 2
     try:
-        _validate_args(args)
-        spec = _spec_from_args(args)
+        if getattr(args, "workers", 1) < 1:
+            raise ConfigError(
+                f"--workers must be >= 1, got {args.workers}")
+        if args.command == "run":
+            return _main_run(args)
+        if args.command == "sweep":
+            return _main_sweep(args)
+        if args.command == "status":
+            return _main_status(args)
+        return _main_figures(args)
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    names = list(_FIGURES) if args.experiment == "all" else [args.experiment]
-    store = ResultStore(args.resume) if args.resume else None
-    try:
-        for name in names:
-            out_csv = args.out
-            if out_csv and args.experiment == "all":
-                out_csv = out_csv.replace(".csv", f"_{name}.csv")
-            print(f"== running {name} ==", file=sys.stderr, flush=True)
-            stats = CampaignStats()
-            extra = {}
-            if name == "model_compare":
-                # Preserve the pre-spec contract: a named model
-                # restricts the comparison, no flag compares them all.
-                extra["fault_models"] = (
-                    [args.fault_model] if args.fault_model else None)
-            _, report = _EXPERIMENTS[name](
-                spec,
-                out_csv=out_csv,
-                progress=_progress,
-                workers=args.workers,
-                store=store,
-                stats=stats,
-                **extra,
-            )
-            print(report)
-            print()
-            print(stats.summary(), file=sys.stderr, flush=True)
-    finally:
-        if store is not None:
-            store.close()
-    return 0
+    except BrokenPipeError:
+        # stdout went to a pager/head that quit; not an error. Point
+        # stdout at devnull so the interpreter's shutdown flush does
+        # not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

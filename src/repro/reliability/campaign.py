@@ -193,7 +193,8 @@ def run_cell(spec=None, workload: str | None = None, *args,
 
 
 def run_matrix(spec=None, *, progress=None, workers: int = 1,
-               store=None, stats=None, **legacy) -> list[CellResult]:
+               store=None, stats=None, telemetry=None,
+               **legacy) -> list[CellResult]:
     """Run the full (GPU x benchmark) matrix the figures are built from.
 
     Preferred form: ``run_matrix(spec)``; the legacy kwarg form builds
@@ -205,7 +206,9 @@ def run_matrix(spec=None, *, progress=None, workers: int = 1,
     campaign resumable and incremental, and ``stats`` (a
     :class:`repro.engine.CampaignStats`) collects the jobs
     total/cached/executed accounting. Results are bit-identical to the
-    serial per-cell loop for every setting.
+    serial per-cell loop for every setting. ``telemetry`` is the
+    engine observability stream (``None`` defers to the spec's
+    ``telemetry`` field — see :func:`repro.engine.run_campaign`).
     """
     from repro.arch.presets import list_gpus
     from repro.engine.matrix import run_campaign
@@ -217,6 +220,7 @@ def run_matrix(spec=None, *, progress=None, workers: int = 1,
                        legacy_defaults={"gpus": list_gpus})
     result = run_campaign(
         spec, store=store, workers=workers, progress=progress, stats=stats,
+        telemetry=telemetry,
     )
     return result.cells
 

@@ -11,7 +11,14 @@ from repro.sim.faults import (
     SIMT_STACK,
     sample_faults,
 )
-from repro.sim.tracing import CompositeSink, EventRecorder, TraceSink
+from repro.sim.tracing import (
+    TRACE_SCHEMA_VERSION,
+    CompositeSink,
+    EventRecorder,
+    JsonlTraceSink,
+    TraceSink,
+    read_trace_events,
+)
 
 __all__ = [
     "Gpu",
@@ -27,5 +34,8 @@ __all__ = [
     "TraceSink",
     "CompositeSink",
     "EventRecorder",
+    "JsonlTraceSink",
+    "TRACE_SCHEMA_VERSION",
+    "read_trace_events",
     "default_watchdog_for",
 ]

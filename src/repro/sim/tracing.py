@@ -19,7 +19,15 @@ debugging and tests, :class:`EventRecorder` keeps the raw events.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
+
+#: Version of the JSONL trace event schema (the ``v`` field of every
+#: line :class:`JsonlTraceSink` writes). Bump when an event's fields
+#: change incompatibly.
+TRACE_SCHEMA_VERSION = 1
 
 
 class TraceSink:
@@ -134,3 +142,82 @@ class EventRecorder(TraceSink):
 
     def on_run_end(self, cycle):
         self.end_cycle = cycle
+
+
+class JsonlTraceSink(TraceSink):
+    """Write every access event as one JSON line (offline analysis).
+
+    Each line is a flat object ``{"v": 1, "event": <type>, ...}`` with
+    plain-scalar fields only (word-index arrays become lists of ints),
+    so any JSONL consumer can replay a simulation's access stream
+    without this package. The file is truncated on construction — one
+    file is one run — and closed by :meth:`on_run_end`, ``close()``,
+    or the context-manager exit.
+
+    Unlike the online sinks this stores the *full* stream: cost is
+    O(instructions) disk, so it is a debugging/inter-op tool, not part
+    of a campaign. :func:`read_trace_events` loads the file back.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.events_written = 0
+
+    def _write(self, event_type: str, **fields) -> None:
+        if self._handle is None:
+            return
+        record = {"v": TRACE_SCHEMA_VERSION, "event": event_type, **fields}
+        self._handle.write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+    def on_reg_access(self, cycle, core, row, mask, is_write):
+        self._write("reg_access", cycle=int(cycle), core=int(core),
+                    row=int(row), mask=int(mask), is_write=bool(is_write))
+
+    def on_lmem_access(self, cycle, core, words, is_write):
+        self._write("lmem_access", cycle=int(cycle), core=int(core),
+                    words=[int(w) for w in np.atleast_1d(words)],
+                    is_write=bool(is_write))
+
+    def on_block_alloc(self, cycle, core, reg_words, lmem_bytes):
+        self._write("block_alloc", cycle=int(cycle), core=int(core),
+                    reg_words=int(reg_words), lmem_bytes=int(lmem_bytes))
+
+    def on_block_free(self, cycle, core, reg_words, lmem_bytes):
+        self._write("block_free", cycle=int(cycle), core=int(core),
+                    reg_words=int(reg_words), lmem_bytes=int(lmem_bytes))
+
+    def on_warp_slot_alloc(self, cycle, core, slot):
+        self._write("warp_slot_alloc", cycle=int(cycle), core=int(core),
+                    slot=int(slot))
+
+    def on_warp_slot_free(self, cycle, core, slot):
+        self._write("warp_slot_free", cycle=int(cycle), core=int(core),
+                    slot=int(slot))
+
+    def on_run_end(self, cycle):
+        self._write("run_end", cycle=int(cycle))
+        self.close()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace_events(path: str | Path) -> list[dict]:
+    """The events of one :class:`JsonlTraceSink` file, in file order."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events

@@ -118,6 +118,11 @@ class CampaignSpec:
     shard_size: int | None = None
     #: Raw soft-error FIT per storage bit (the EPF scale factor).
     raw_fit_per_bit: float = RAW_FIT_PER_BIT
+    #: Engine telemetry: None/False = off, True = JSONL event stream
+    #: next to the result store, a path = JSONL there. Strictly
+    #: observability-only — never part of any job fingerprint, and the
+    #: result store is bit-identical with it on or off.
+    telemetry: bool | str | None = None
     #: Optional human-readable label (spec files, sweep tables). Not
     #: part of any job fingerprint.
     name: str | None = None
@@ -202,6 +207,16 @@ class CampaignSpec:
             raise _field_error(
                 "raw_fit_per_bit",
                 f"must be > 0, got {self.raw_fit_per_bit}")
+        if self.telemetry is not None and not isinstance(
+                self.telemetry, bool):
+            if not isinstance(self.telemetry, str):
+                raise _field_error(
+                    "telemetry",
+                    f"expected true/false or a JSONL path, "
+                    f"got {self.telemetry!r}")
+            if not self.telemetry:
+                raise _field_error(
+                    "telemetry", "path must be a non-empty string")
         if self.name is not None and not isinstance(self.name, str):
             raise _field_error(
                 "name", f"expected a string, got {self.name!r}")

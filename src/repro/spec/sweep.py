@@ -99,7 +99,7 @@ class SweepResult:
 
 
 def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
-              progress=None, stats=None) -> SweepResult:
+              progress=None, stats=None, telemetry=None) -> SweepResult:
     """Expand ``base`` x ``axes`` and run every child campaign.
 
     All children share ``store`` (a :class:`ResultStore` or a path,
@@ -107,26 +107,44 @@ def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
     (optional shared :class:`CampaignStats`) additionally accumulates
     the job accounting across the whole sweep. Each
     :class:`SweepRun` also carries its own per-child stats.
+
+    ``telemetry`` (``None`` defers to the base spec's ``telemetry``
+    field) is resolved *once* for the whole sweep — every child
+    campaign emits into the same hub/JSONL stream, bracketed by
+    ``sweep_begin`` / ``sweep_end`` events — so one `status` view
+    covers the sweep end to end.
     """
     from repro.engine.matrix import run_campaign
     from repro.engine.scheduler import CampaignStats
     from repro.engine.store import ResultStore
+    from repro.telemetry import resolve_telemetry
 
     specs = expand_sweep(base, axes)
     own_store = isinstance(store, (str, Path))
     if own_store:
         store = ResultStore(store)
+    hub, own_hub = resolve_telemetry(
+        base.telemetry if telemetry is None else telemetry, store)
     result = SweepResult(base=base, axes=dict(axes))
+    if hub is not None:
+        hub.record("sweep_begin", name=base.name,
+                   campaigns=len(specs), axes=list(axes))
     try:
         for spec in specs:
             child_stats = CampaignStats()
             campaign = run_campaign(spec, store=store, workers=workers,
-                                    progress=progress, stats=child_stats)
+                                    progress=progress, stats=child_stats,
+                                    telemetry=hub if hub is not None
+                                    else False)
             if stats is not None:
                 stats.merge(child_stats)
             result.runs.append(SweepRun(
                 spec=spec, cells=campaign.cells, stats=child_stats))
+        if hub is not None:
+            hub.record("sweep_end", name=base.name, campaigns=len(specs))
     finally:
+        if own_hub and hub is not None:
+            hub.close()
         if own_store:
             store.close()
     return result

@@ -1,0 +1,47 @@
+"""``repro.telemetry`` — the engine observability layer.
+
+Structured telemetry for campaign execution: the scheduler, the
+in-process golden cache and the matrix driver emit schema-versioned
+events (job start/finish/cached, queue depth, worker occupancy, cache
+hit/miss, per-cell throughput) into a :class:`TelemetryHub` fanning
+out to pluggable sinks — an in-memory tape for tests, a JSONL file
+written next to the result store, or a streaming callback.
+
+Telemetry is strictly observability-only: result stores produced with
+it on and off are bit-identical, no job fingerprint includes the
+telemetry setting, and a failing sink is dropped-from rather than
+propagated. ``repro-experiments status STORE`` renders the recorded
+stream (:mod:`repro.telemetry.status`).
+"""
+
+from repro.telemetry.sink import (
+    TELEMETRY_SCHEMA_VERSION,
+    CallbackTelemetrySink,
+    JsonlTelemetrySink,
+    MemoryTelemetrySink,
+    TelemetryHub,
+    TelemetrySink,
+    load_telemetry,
+    resolve_telemetry,
+    telemetry_path_for_store,
+)
+from repro.telemetry.status import (
+    CampaignStatus,
+    aggregate_events,
+    format_status,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "CallbackTelemetrySink",
+    "CampaignStatus",
+    "JsonlTelemetrySink",
+    "MemoryTelemetrySink",
+    "TelemetryHub",
+    "TelemetrySink",
+    "aggregate_events",
+    "format_status",
+    "load_telemetry",
+    "resolve_telemetry",
+    "telemetry_path_for_store",
+]

@@ -1,0 +1,53 @@
+"""The curated top-level API: everything in ``repro.__all__`` resolves.
+
+Examples and downstream users import from ``repro`` directly; a name
+that disappears from the package root is an API break this test turns
+into a failure with the missing name spelled out.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+
+EXAMPLES = Path(repro.__file__).resolve().parents[2] / "examples"
+
+
+def test_every_public_name_resolves():
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing
+
+
+def test_key_surfaces_are_exported():
+    for name in (
+        # campaign API
+        "CampaignSpec", "run_campaign", "run_sweep", "run_cell",
+        "run_matrix", "ResultStore", "cell_fingerprints",
+        # observability
+        "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
+        "CallbackTelemetrySink", "TelemetryHub", "load_telemetry",
+        "telemetry_path_for_store",
+        # access traces
+        "TraceSink", "CompositeSink", "EventRecorder", "JsonlTraceSink",
+        "read_trace_events",
+        # reports
+        "format_avf_figure", "format_epf_figure", "write_cells_csv",
+    ):
+        assert name in repro.__all__, name
+
+
+def test_examples_use_only_the_public_api():
+    """``examples/`` must not deep-import repro submodules."""
+    allowed = {"repro"}
+    for path in sorted(EXAMPLES.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.split(".")[0] == "repro":
+                assert node.module in allowed, \
+                    f"{path.name} deep-imports {node.module}"
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "repro":
+                        assert alias.name in allowed, \
+                            f"{path.name} deep-imports {alias.name}"

@@ -1,0 +1,168 @@
+"""The `status STORE` monitor and the consolidated CLI surface.
+
+Renders against the checked-in fixture store
+(tests/fixtures/status_store.jsonl + .telemetry.jsonl — a finished
+2-cell gtx480 campaign recorded with telemetry on), so output checks
+are deterministic and need no simulation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.telemetry import (
+    aggregate_events,
+    format_status,
+    load_telemetry,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+STORE = FIXTURES / "status_store.jsonl"
+TELEMETRY = FIXTURES / "status_store.telemetry.jsonl"
+
+
+class TestStatusCommand:
+    def test_completed_campaign_panel(self, capsys):
+        assert main(["status", str(STORE)]) == 0
+        out = capsys.readouterr().out
+        # job counts, per kind
+        assert "jobs: 7" in out
+        for kind in ("golden", "plan", "shard", "cell"):
+            assert kind in out
+        # cache hit rate, occupancy, throughput — the acceptance surface
+        assert "cache hit rate" in out
+        assert "occupancy" in out and "workers: 2" in out
+        assert "samples/s" in out
+        assert "completed in" in out
+        assert "status fixture" in out
+
+    def test_in_progress_campaign_shows_eta(self, tmp_path, capsys):
+        # The same stream minus campaign_end is a killed/running
+        # campaign: the panel must flip to IN PROGRESS with an ETA.
+        events = [e for e in load_telemetry(TELEMETRY)
+                  if e["event"] != "campaign_end"]
+        store = tmp_path / "status_store.jsonl"
+        store.write_text(STORE.read_text())
+        (tmp_path / "status_store.telemetry.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events))
+        assert main(["status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "IN PROGRESS" in out
+        assert "ETA" in out
+
+    def test_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not found" in err
+        assert "Traceback" not in err
+
+    def test_store_without_telemetry_renders_hint(self, tmp_path, capsys):
+        store = tmp_path / "bare.jsonl"
+        store.write_text(STORE.read_text())
+        assert main(["status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "store: 7 finished job records" in out
+        assert "none recorded" in out
+        assert "--telemetry" in out
+
+    def test_explicit_telemetry_path_override(self, tmp_path, capsys):
+        store = tmp_path / "bare.jsonl"
+        store.write_text(STORE.read_text())
+        assert main(["status", str(store),
+                     "--telemetry", str(TELEMETRY)]) == 0
+        out = capsys.readouterr().out
+        assert "status fixture" in out
+
+
+class TestStatusRendering:
+    """format_status is a pure function — pin the clock and assert."""
+
+    def test_fixture_aggregation(self):
+        status = aggregate_events(load_telemetry(TELEMETRY))
+        assert status.campaigns_begun == 1 and status.campaigns_ended == 1
+        assert not status.in_progress
+        assert status.cells_done == status.cells_total == 2
+        assert status.jobs_executed == 7 and status.jobs_cached == 0
+        assert status.workers == 2
+        assert status.utilization is not None
+        assert 0.0 < status.utilization <= 1.0
+        assert status.samples_per_s is not None and status.samples_per_s > 0
+
+    def test_in_progress_panel_is_deterministic(self):
+        events = [e for e in load_telemetry(TELEMETRY)
+                  if e["event"] != "campaign_end"]
+        status = aggregate_events(events)
+        assert status.in_progress
+        panel = format_status("store.jsonl", {"golden": 2}, status,
+                              now=status.last_ts + 5.0)
+        assert "IN PROGRESS (last event 5.0s ago)" in panel
+        assert "ETA" in panel
+
+    def test_empty_stream_panel(self):
+        panel = format_status("store.jsonl", {}, aggregate_events([]),
+                              telemetry_path="store.telemetry.jsonl")
+        assert "none recorded" in panel
+        assert "store.telemetry.jsonl" in panel
+
+
+class TestConsolidatedCli:
+    @pytest.mark.parametrize("legacy,current", [
+        ("control_avf", "control"), ("model_compare", "models"),
+    ])
+    def test_legacy_experiment_names_warn_and_dispatch(self, legacy,
+                                                       current, capsys):
+        with pytest.warns(DeprecationWarning, match=legacy):
+            code = main([legacy, "--samples", "4", "--scale", "tiny",
+                         "--gpus", "gtx480", "--workloads", "vectoradd",
+                         "--quiet"])
+        assert code == 0
+        assert f"== running {current} ==" in capsys.readouterr().err
+
+    def test_current_names_do_not_warn(self, recwarn, capsys):
+        assert main(["control", "--samples", "4", "--scale", "tiny",
+                     "--gpus", "gtx480", "--workloads", "vectoradd",
+                     "--quiet"]) == 0
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_telemetry_flag_conflict_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text('gpus = ["gtx480"]\nworkloads = ["vectoradd"]\n'
+                        'scale = "tiny"\nsamples = 4\n')
+        assert main(["run", str(spec), "--telemetry",
+                     "--no-telemetry"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_telemetry_without_store_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text('gpus = ["gtx480"]\nworkloads = ["vectoradd"]\n'
+                        'scale = "tiny"\nsamples = 4\n')
+        assert main(["run", str(spec), "--quiet", "--telemetry"]) == 2
+        err = capsys.readouterr().err
+        assert err.rstrip().endswith("path")
+        assert "error:" in err and "Traceback" not in err
+
+    def test_run_telemetry_writes_next_to_store(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text('gpus = ["gtx480"]\nworkloads = ["vectoradd"]\n'
+                        'scale = "tiny"\nsamples = 4\n')
+        store = tmp_path / "store.jsonl"
+        assert main(["run", str(spec), "--quiet", "--telemetry",
+                     "--resume", str(store)]) == 0
+        telemetry = tmp_path / "store.telemetry.jsonl"
+        assert telemetry.exists()
+        events = load_telemetry(telemetry)
+        assert events[0]["event"] == "campaign_begin"
+        assert events[-1]["event"] == "campaign_end"
+        capsys.readouterr()
+        assert main(["status", str(store)]) == 0
+        assert "completed in" in capsys.readouterr().out
+
+    def test_subcommand_help_exists_for_every_command(self):
+        for command in ("fig1", "fig2", "fig3", "control", "models",
+                        "all", "run", "sweep", "status"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0

@@ -11,7 +11,14 @@ from repro.kernels.registry import get_workload
 from repro.kernels.workload import run_workload
 from repro.reliability.liveness import AceAccumulator, OccupancyAccumulator
 from repro.sim.gpu import Gpu
-from repro.sim.tracing import CompositeSink, EventRecorder, TraceSink
+from repro.sim.tracing import (
+    TRACE_SCHEMA_VERSION,
+    CompositeSink,
+    EventRecorder,
+    JsonlTraceSink,
+    TraceSink,
+    read_trace_events,
+)
 from tests.conftest import MINI_AMD, MINI_NVIDIA
 
 
@@ -103,3 +110,56 @@ class TestCompositeSink:
         sink.on_block_alloc(0, 0, 0, 0)
         sink.on_block_free(0, 0, 0, 0)
         sink.on_run_end(0)
+
+
+class TestJsonlTraceSink:
+    def test_round_trips_a_real_run(self, tmp_path):
+        """A traced run's JSONL file replays to the recorder's stream."""
+        path = tmp_path / "trace.jsonl"
+        recorder = EventRecorder()
+        workload = get_workload("vectoradd", "tiny")
+        run_workload(Gpu(MINI_NVIDIA,
+                         sink=CompositeSink(recorder, JsonlTraceSink(path))),
+                     workload)
+        events = read_trace_events(path)
+        assert events and all(e["v"] == TRACE_SCHEMA_VERSION for e in events)
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["cycle"] == recorder.end_cycle
+        regs = [e for e in events if e["event"] == "reg_access"]
+        assert [(e["cycle"], e["core"], e["row"], e["mask"], e["is_write"])
+                for e in regs] == recorder.reg_events
+        lmems = [e for e in events if e["event"] == "lmem_access"]
+        assert [(e["cycle"], e["core"], tuple(e["words"]), e["is_write"])
+                for e in lmems] == recorder.lmem_events
+
+    def test_values_are_plain_json_scalars(self, tmp_path):
+        # numpy inputs must land as native ints/bools on disk.
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.on_reg_access(np.int64(5), np.int32(0), 2, np.int64(0xF),
+                               np.bool_(True))
+            sink.on_lmem_access(6, 0, np.array([3, 4]), False)
+        (reg, lmem) = read_trace_events(path)
+        assert reg == {"v": TRACE_SCHEMA_VERSION, "event": "reg_access",
+                       "cycle": 5, "core": 0, "row": 2, "mask": 15,
+                       "is_write": True}
+        assert lmem["words"] == [3, 4]
+
+    def test_run_end_closes_the_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.on_run_end(42)
+        assert sink._handle is None
+        sink.on_reg_access(0, 0, 0, 0, True)  # after close: ignored
+        assert read_trace_events(path) == [
+            {"v": TRACE_SCHEMA_VERSION, "event": "run_end", "cycle": 42}]
+
+    def test_traced_run_is_unperturbed(self, tmp_path):
+        workload = get_workload("vectoradd", "tiny")
+        bare = run_workload(Gpu(MINI_NVIDIA), workload)
+        traced = run_workload(
+            Gpu(MINI_NVIDIA, sink=JsonlTraceSink(tmp_path / "t.jsonl")),
+            workload)
+        assert bare.cycles == traced.cycles
+        for name in bare.outputs:
+            assert np.array_equal(bare.outputs[name], traced.outputs[name])
