@@ -7,6 +7,8 @@ visible in the benchmark history.
 
 from __future__ import annotations
 
+import time
+
 from repro.arch.scaling import get_scaled_gpu
 from repro.kernels.registry import get_workload
 from repro.kernels.workload import run_workload
@@ -47,3 +49,70 @@ def test_traced_run_overhead(benchmark):
         lambda: run_golden(config, workload), rounds=2, iterations=1
     )
     assert golden.cycles > 0
+
+
+def test_profile_hook_overhead(benchmark):
+    """Cost of the hot-path profiling hook, collector off vs on.
+
+    The bench history tracks the disabled path (the one every normal
+    campaign pays); ``profile_enabled_s`` / ``profile_overhead_pct``
+    in extra_info record what turning the collector on adds. Neither
+    key is gated — check_bench prints them as trend datapoints only.
+    """
+    from repro.telemetry.profile import ProfileCollector, collecting
+
+    config = get_scaled_gpu("gtx480")
+    workload = get_workload("matrixMul", "small")
+
+    def run_disabled():
+        run_workload(Gpu(config), workload)
+
+    def run_enabled():
+        with collecting(ProfileCollector()):
+            run_workload(Gpu(config), workload)
+
+    def timed(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    run_disabled()  # warm code paths before timing either variant
+    run_enabled()
+    disabled_s = min(timed(run_disabled) for _ in range(3))
+    enabled_s = min(timed(run_enabled) for _ in range(3))
+    overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+    print(f"\nprofile hook: off {disabled_s:.3f}s  on {enabled_s:.3f}s  "
+          f"(+{overhead_pct:.1f}%)")
+    benchmark.pedantic(run_disabled, rounds=2, iterations=1)
+    benchmark.extra_info["profile_disabled_s"] = round(disabled_s, 6)
+    benchmark.extra_info["profile_enabled_s"] = round(enabled_s, 6)
+    benchmark.extra_info["profile_overhead_pct"] = round(overhead_pct, 2)
+
+
+def test_profiled_campaign_phases(benchmark):
+    """One profiled FI cell; records the per-phase wall-time split."""
+    from repro.engine.matrix import run_campaign
+    from repro.engine.scheduler import clear_memory_cache
+    from repro.spec import CampaignSpec
+    from repro.telemetry import MemoryTelemetrySink, TelemetryHub
+
+    spec = CampaignSpec(gpus=("gtx480",), workloads=("matrixMul",),
+                        scale="small", samples=4)
+
+    def run():
+        clear_memory_cache()
+        sink = MemoryTelemetrySink()
+        run_campaign(spec, telemetry=TelemetryHub(sink), profile=True)
+        return sink
+
+    sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    profile = sink.of_type("campaign_profile")[-1]["profile"]
+    phases = {name: round(seconds, 6)
+              for name, seconds in sorted(profile["phases"].items())}
+    total = sum(phases.values()) or 1.0
+    shares = {name: round(100.0 * seconds / total, 1)
+              for name, seconds in phases.items()}
+    print("\nphase split: " + "  ".join(
+        f"{name} {share:.1f}%" for name, share in shares.items()))
+    benchmark.extra_info["profile_phases"] = phases
+    benchmark.extra_info["profile_phase_shares_pct"] = shares

@@ -12,6 +12,11 @@ shapes are understood, keyed by ``extra_info``:
   checkpoint suffix-only FI speedup): must beat the per-benchmark
   ``min_speedup`` recorded alongside (1.5x for checkpointing).
 
+Profiling keys (``profile_disabled_s`` / ``profile_enabled_s`` /
+``profile_phases``) are printed as trend datapoints but never gated —
+the profiling layer is observability-only and its overhead budget is
+reviewed from the bench history, not enforced here.
+
 Usage::
 
     python scripts/check_bench.py BENCH_ci.json [--min-speedup 1.0]
@@ -23,6 +28,22 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def _print_profile_info(name: str, info: dict) -> None:
+    """Trend-only profiling datapoints (never gated, just printed)."""
+    if "profile_disabled_s" in info and "profile_enabled_s" in info:
+        pct = info.get("profile_overhead_pct", float("nan"))
+        print(f"{name}: profile hook off {info['profile_disabled_s']:.3f}s"
+              f"  on {info['profile_enabled_s']:.3f}s  (+{pct:.1f}%)"
+              f"  [trend only]")
+    phases = info.get("profile_phases")
+    if isinstance(phases, dict) and phases:
+        shares = info.get("profile_phase_shares_pct", {})
+        split = "  ".join(
+            f"{phase} {seconds:.3f}s ({shares.get(phase, 0):.1f}%)"
+            for phase, seconds in sorted(phases.items()))
+        print(f"{name}: phase split {split}  [trend only]")
 
 
 def check(path: Path, min_speedup: float) -> int:
@@ -47,6 +68,7 @@ def check(path: Path, min_speedup: float) -> int:
             # Not a speedup bench; report the mean and move on.
             mean = bench.get("stats", {}).get("mean", float("nan"))
             print(f"{name}: mean {mean:.3f}s (no speedup gate)")
+            _print_profile_info(name, info)
             continue
         speedup = slow / fast if fast else float("inf")
         verdict = "ok" if speedup >= floor else f"BELOW x{floor} GATE"

@@ -131,10 +131,16 @@ from repro.telemetry import (
     CallbackTelemetrySink,
     JsonlTelemetrySink,
     MemoryTelemetrySink,
+    ProfileCollector,
     TelemetryHub,
     TelemetrySink,
+    TelemetryTail,
+    aggregate_profiles,
+    format_profile,
     load_telemetry,
+    load_telemetry_events,
     telemetry_path_for_store,
+    top_cost_centers,
 )
 
 __version__ = "1.0.0"
@@ -167,7 +173,10 @@ __all__ = [
     # engine telemetry (observability)
     "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
     "CallbackTelemetrySink", "TelemetryHub",
-    "load_telemetry", "telemetry_path_for_store",
+    "load_telemetry", "load_telemetry_events", "telemetry_path_for_store",
+    # hot-path profiling (observability)
+    "ProfileCollector", "TelemetryTail", "aggregate_profiles",
+    "format_profile", "top_cost_centers",
     # simulator access traces
     "TraceSink", "CompositeSink", "EventRecorder", "JsonlTraceSink",
     "read_trace_events",

@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.errors import ConfigError
 from repro.checkpoint.digest import digest_machine
 from repro.checkpoint.snapshot import MachineSnapshot, SnapshotPoint, SnapshotSet
+from repro.telemetry import profile as _profile
 
 #: Base capture stride (cycles) for ``interval="auto"``.
 AUTO_INTERVAL = 256
@@ -86,14 +87,15 @@ class CheckpointRecorder:
         Thresholds crossed within a single core step share one image
         (the machine cannot be observed between them).
         """
-        state = gpu.snapshot_state()
-        snapshot = MachineSnapshot(
-            launch_index=self._launch_index,
-            launch_cycles=list(self._launch_cycles),
-            state=state,
-        )
-        digest = digest_machine(snapshot.launch_index,
-                                snapshot.launch_cycles, state)
+        with _profile.phase("snapshot_capture"):
+            state = gpu.snapshot_state()
+            snapshot = MachineSnapshot(
+                launch_index=self._launch_index,
+                launch_cycles=list(self._launch_cycles),
+                state=state,
+            )
+            digest = digest_machine(snapshot.launch_index,
+                                    snapshot.launch_cycles, state)
         core_times = tuple(int(c["time"]) for c in state["cores"])
         for label in labels:
             self._points.append(SnapshotPoint(
@@ -124,7 +126,11 @@ def capture_snapshots(config, workload, scheduler: str = "rr",
     from repro.kernels.workload import run_workload
     from repro.sim.gpu import Gpu
     recorder = CheckpointRecorder(interval, max_snapshots=max_snapshots)
-    run_workload(Gpu(config, scheduler=scheduler), workload, monitor=recorder)
+    # The rebuild is a golden-prefix re-run, so it profiles as `golden`
+    # (with its captures nested under `snapshot_capture` as usual).
+    with _profile.phase("golden"):
+        run_workload(Gpu(config, scheduler=scheduler), workload,
+                     monitor=recorder)
     return recorder.snapshots()
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.checkpoint.digest import digest_machine
+from repro.telemetry import profile as _profile
 
 
 class ConvergedToGolden(Exception):
@@ -91,7 +92,9 @@ class ConvergenceMonitor:
         if tuple(int(core.time) for core in gpu.cores) != point.core_times:
             return
         self.checks += 1
-        mine = digest_machine(self._launch_index, self._launch_cycles,
-                              gpu.snapshot_state(copy=False))
+        _profile.count("digest_checks")
+        with _profile.phase("digest"):
+            mine = digest_machine(self._launch_index, self._launch_cycles,
+                                  gpu.snapshot_state(copy=False))
         if mine == point.digest:
             raise ConvergedToGolden(point.label)

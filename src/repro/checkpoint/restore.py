@@ -22,6 +22,7 @@ from repro.checkpoint.convergence import ConvergenceMonitor
 from repro.checkpoint.snapshot import SnapshotPoint, SnapshotSet
 from repro.kernels.workload import RunResult, Workload, run_workload
 from repro.sim.gpu import Gpu
+from repro.telemetry import profile as _profile
 
 
 def restore_machine(config, workload: Workload, point: SnapshotPoint,
@@ -32,13 +33,16 @@ def restore_machine(config, workload: Workload, point: SnapshotPoint,
     observes exactly the suffix of the event stream an un-checkpointed
     run emits from this point on.
     """
-    snapshot = point.snapshot
-    gpu = Gpu(config, scheduler=scheduler, sink=sink)
-    bases = {name: base for name, base, _ in snapshot.state["mem"]["buffers"]}
-    launches = list(workload.make_launches(config.isa, bases))
-    active = snapshot.state["active"]
-    launch = launches[snapshot.launch_index] if active is not None else None
-    gpu.restore_state(snapshot.state, launch=launch)
+    with _profile.phase("restore"):
+        snapshot = point.snapshot
+        gpu = Gpu(config, scheduler=scheduler, sink=sink)
+        bases = {name: base
+                 for name, base, _ in snapshot.state["mem"]["buffers"]}
+        launches = list(workload.make_launches(config.isa, bases))
+        active = snapshot.state["active"]
+        launch = (launches[snapshot.launch_index]
+                  if active is not None else None)
+        gpu.restore_state(snapshot.state, launch=launch)
     return gpu, launches
 
 
@@ -89,10 +93,12 @@ def run_faulty_from_checkpoints(config, workload: Workload, plan,
     if not model.persistent:
         monitor = ConvergenceMonitor(snapshots.points_after(pos))
     if point is None:
+        _profile.count("checkpoint_miss")
         gpu = Gpu(config, scheduler=scheduler)
         gpu.set_faults([plan], fault_model=model)
         gpu.set_watchdog(watchdog)
         return run_workload(gpu, workload, monitor=monitor)
+    _profile.count("checkpoint_hit")
     gpu, launches = restore_machine(config, workload, point, scheduler)
     gpu.set_faults([plan], fault_model=model)
     gpu.set_watchdog(watchdog)

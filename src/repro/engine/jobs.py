@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import base64
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -41,8 +42,24 @@ from repro.reliability.outcomes import Outcome
 from repro.arch.structures import DATAPATH_STRUCTURES
 from repro.sim.faults import FaultPlan
 from repro.sim.gpu import Gpu
+from repro.telemetry import profile as _profile
 
 GOLDEN, PLAN, SHARD, CELL = "golden", "plan", "shard", "cell"
+
+
+def _collector_for(flag) -> "_profile.ProfileCollector | None":
+    """A fresh collector when a job's trailing profile flag is truthy.
+
+    The collected data rides the ephemeral ``_profile`` payload key
+    (stripped by the store and the in-process cache, like
+    ``_snapshots``), so profiling never changes what is persisted.
+    """
+    return _profile.ProfileCollector() if flag else None
+
+
+def _collecting(collector):
+    return (nullcontext() if collector is None
+            else _profile.collecting(collector))
 
 
 # ----------------------------------------------------------------------
@@ -92,10 +109,12 @@ def run_golden_job(args: tuple) -> dict:
     """
     config, workload_name, scale, scheduler, ace_mode_value = args[:5]
     checkpoint_interval = args[5] if len(args) > 5 else None
+    collector = _collector_for(args[6] if len(args) > 6 else False)
     workload = get_workload(workload_name, scale)
-    golden = run_golden(config, workload, scheduler=scheduler,
-                        ace_mode=AceMode(ace_mode_value),
-                        checkpoint_interval=checkpoint_interval)
+    with _collecting(collector):
+        golden = run_golden(config, workload, scheduler=scheduler,
+                            ace_mode=AceMode(ace_mode_value),
+                            checkpoint_interval=checkpoint_interval)
     payload = {
         "cycles": golden.cycles,
         "launch_cycles": [int(c) for c in golden.launch_cycles],
@@ -107,6 +126,8 @@ def run_golden_job(args: tuple) -> dict:
     }
     if golden.snapshots is not None:
         payload["_snapshots"] = golden.snapshots
+    if collector is not None:
+        payload["_profile"] = collector.as_dict()
     return payload
 
 
@@ -155,19 +176,22 @@ def run_plan_job(args: tuple) -> dict:
     ``run_fi_campaign``'s for any worker count or shard size.
     """
     (config, workload_name, scale, scheduler, cycles, samples, seed,
-     structures, fault_model) = args
+     structures, fault_model) = args[:9]
+    collector = _collector_for(args[9] if len(args) > 9 else False)
     model = get_fault_model(fault_model)
     start = time.perf_counter()
-    rng = np.random.default_rng(seed)
-    plans_by_structure = {
-        structure: model.sample(config, structure, cycles, samples, rng)
-        for structure in structures
-    }
-    all_plans = [p for plans in plans_by_structure.values() for p in plans]
-    resolver = FaultSiteResolver(config, all_plans, fault_model=model)
-    gpu = Gpu(config, scheduler=scheduler, sink=resolver)
-    run_workload(gpu, get_workload(workload_name, scale))
-    return {
+    with _collecting(collector), _profile.phase("prune"):
+        rng = np.random.default_rng(seed)
+        plans_by_structure = {
+            structure: model.sample(config, structure, cycles, samples, rng)
+            for structure in structures
+        }
+        all_plans = [p for plans in plans_by_structure.values()
+                     for p in plans]
+        resolver = FaultSiteResolver(config, all_plans, fault_model=model)
+        gpu = Gpu(config, scheduler=scheduler, sink=resolver)
+        run_workload(gpu, get_workload(workload_name, scale))
+    payload = {
         "plans": {
             structure: [
                 encode_plan_row(p, resolver.is_live(p)) for p in plans
@@ -176,6 +200,9 @@ def run_plan_job(args: tuple) -> dict:
         },
         "wall_time_s": time.perf_counter() - start,
     }
+    if collector is not None:
+        payload["_profile"] = collector.as_dict()
+    return payload
 
 
 def live_plan_keys(plan_payload: dict) -> list[tuple]:
@@ -240,31 +267,39 @@ def run_shard_job(args: tuple) -> dict:
     same 8-element flat rows as the single-model era for default plan
     keys, with the key's width/stuck suffix inlined for extended ones.
 
-    The two optional trailing args (snapshots, checkpoint_interval)
-    switch the re-simulations to suffix-only restore with early-exit
-    convergence; rows are bit-identical either way, so shard
-    fingerprints — and parity between checkpointed and un-checkpointed
-    stores — are unaffected.
+    The optional trailing args (snapshots, checkpoint_interval,
+    profile flag) switch the re-simulations to suffix-only restore
+    with early-exit convergence and/or attach a ``_profile`` payload;
+    rows are bit-identical either way, so shard fingerprints — and
+    parity between checkpointed and un-checkpointed stores — are
+    unaffected.
     """
     (config, workload_name, scale, scheduler, cycles, golden_fp,
      outputs_encoded, plan_keys, fault_model) = args[:9]
     snapshots = args[9] if len(args) > 9 else None
     checkpoint_interval = args[10] if len(args) > 10 else None
+    collector = _collector_for(args[11] if len(args) > 11 else False)
     outputs = _decoded_outputs_for(golden_fp, outputs_encoded)
     workload = get_workload(workload_name, scale)
     start = time.perf_counter()
-    snapshots = _snapshots_for(golden_fp, checkpoint_interval, snapshots,
-                               config, workload, scheduler)
-    results = []
-    for key in plan_keys:
-        plan = plan_from_key(tuple(key))
-        result = resimulate_plan(config, workload, plan, outputs, cycles,
-                                 scheduler, fault_model=fault_model,
-                                 snapshots=snapshots)
-        results.append([
-            *key, result.outcome.value, result.detail, result.corrupted_words,
-        ])
-    return {"results": results, "wall_time_s": time.perf_counter() - start}
+    with _collecting(collector):
+        snapshots = _snapshots_for(golden_fp, checkpoint_interval, snapshots,
+                                   config, workload, scheduler)
+        results = []
+        for key in plan_keys:
+            plan = plan_from_key(tuple(key))
+            result = resimulate_plan(config, workload, plan, outputs, cycles,
+                                     scheduler, fault_model=fault_model,
+                                     snapshots=snapshots)
+            results.append([
+                *key, result.outcome.value, result.detail,
+                result.corrupted_words,
+            ])
+    payload = {"results": results,
+               "wall_time_s": time.perf_counter() - start}
+    if collector is not None:
+        payload["_profile"] = collector.as_dict()
+    return payload
 
 
 # ----------------------------------------------------------------------

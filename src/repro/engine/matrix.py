@@ -37,6 +37,8 @@ from repro.reliability.campaign import CellResult
 from repro.errors import ConfigError
 from repro.reliability.liveness import AceMode
 from repro.arch.structures import exposed_structures
+from repro.telemetry import profile as _profile
+from repro.telemetry.profile import merge_profiles
 
 #: Live fault plans per FI shard job. Small enough that a 2,000-sample
 #: campaign spreads one cell over many workers; independent of the
@@ -58,7 +60,8 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                store: ResultStore | None,
                fault_model: str,
                checkpoint_interval=None,
-               inline: bool = True) -> tuple[list[JobSpec], str]:
+               inline: bool = True,
+               profile: bool = False) -> tuple[list[JobSpec], str]:
     """Job chain for one cell; returns (root jobs, cell job id).
 
     ``inline`` — True when the campaign runs without a process pool.
@@ -123,21 +126,37 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                     deps[golden_fp].get("_snapshots")
                     if checkpoint_interval is not None and inline else None,
                     checkpoint_interval,
+                    profile,
                 ),
             ))
 
         def reduce_cell(deps: dict) -> dict:
-            payload = jobs.reduce_cell_job(
-                config, workload_name, scale, scheduler, samples, seed,
-                structures, raw_fit_per_bit, uses_local_memory,
-                deps[golden_fp], deps[plan_fp],
-                [deps[shard_id] for shard_id in shard_ids],
-                fault_model=fault_model,
-            )
+            collector = jobs._collector_for(profile)
+            with jobs._collecting(collector), _profile.phase("reduce"):
+                payload = jobs.reduce_cell_job(
+                    config, workload_name, scale, scheduler, samples, seed,
+                    structures, raw_fit_per_bit, uses_local_memory,
+                    deps[golden_fp], deps[plan_fp],
+                    [deps[shard_id] for shard_id in shard_ids],
+                    fault_model=fault_model,
+                )
             # The cell is the last consumer of this golden's snapshots
             # within the campaign: free them so driver memory stays
             # bounded by the cells in flight, not the whole matrix.
             deps[golden_fp].pop("_snapshots", None)
+            if collector is not None:
+                # Fold the workers' profiles into the cell's. Popping
+                # the golden's (it is memory-cached and may feed other
+                # cells of the campaign, but the cache strips `_` keys
+                # anyway) attributes each executed golden exactly once.
+                merged = None
+                for fp in (golden_fp, plan_fp, *shard_ids):
+                    dep = deps.get(fp)
+                    if isinstance(dep, dict):
+                        merged = merge_profiles(merged,
+                                                dep.pop("_profile", None))
+                merged = merge_profiles(merged, collector.as_dict())
+                payload["_profile"] = merged
             return payload
 
         specs.append(JobSpec(
@@ -158,7 +177,7 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
         # the snapshots back through a pickle the shards never read.
         make_args=lambda deps: (
             config, workload_name, scale, scheduler, ace_mode.value,
-            checkpoint_interval if inline else None),
+            checkpoint_interval if inline else None, profile),
         cache_in_memory=True,
     )
     plan_job = JobSpec(
@@ -170,7 +189,7 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
         make_args=lambda deps: (
             config, workload_name, scale, scheduler,
             deps[golden_fp]["cycles"], samples, seed, structures,
-            fault_model),
+            fault_model, profile),
         expand=expand_plan,
     )
     return [golden_job, plan_job], cell_fp
@@ -221,7 +240,7 @@ def cell_fingerprints(spec) -> dict:
 def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
                  workers: int = 1, progress=None,
                  stats: CampaignStats | None = None,
-                 telemetry=None,
+                 telemetry=None, profile=None,
                  **legacy) -> CampaignResult:
     """Run (or resume) an evaluation matrix on the job engine.
 
@@ -262,6 +281,17 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
     :func:`repro.telemetry.resolve_telemetry`). Telemetry is strictly
     observability-only: it joins no fingerprint, and the result store
     is bit-identical with it on or off.
+
+    ``profile`` — ``None`` defers to the spec's ``profile`` field;
+    ``True`` turns on the hot-path profiling layer
+    (:mod:`repro.telemetry.profile`): every executed job collects
+    per-phase timers and dispatch counters, each cell emits one
+    ``cell_profile`` telemetry event and the campaign one
+    ``campaign_profile`` summary, rendered by ``repro-experiments
+    profile STORE``. Profiling shares telemetry's guarantee — no
+    fingerprint, bit-identical stores on or off — and auto-enables a
+    JSONL telemetry sink next to the store when no other telemetry
+    destination is configured.
     """
     from repro.spec import coerce_spec
     # The kwarg era defaulted to the full-size presets here (the
@@ -284,6 +314,18 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
     from repro.telemetry import resolve_telemetry
     hub, own_hub = resolve_telemetry(
         spec.telemetry if telemetry is None else telemetry, store)
+    profile_on = bool(spec.profile if profile is None else profile)
+    if profile_on and hub is None:
+        # Profile events need a telemetry destination; default to the
+        # JSONL stream next to the store, like ``telemetry=True``.
+        try:
+            hub, own_hub = resolve_telemetry(True, store)
+        except ConfigError:
+            raise ConfigError(
+                "profiling needs somewhere to emit its events: give the "
+                "campaign a persistent store (the profile stream lands "
+                "next to it) or an explicit telemetry destination"
+            ) from None
 
     specs: list[JobSpec] = []
     cell_ids: list[str] = []
@@ -294,7 +336,8 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             spec.ace_mode, spec.raw_fit_per_bit, shard_size, store,
             spec.fault_model,
             checkpoint_interval=checkpoint_interval,
-            inline=workers <= 1)
+            inline=workers <= 1,
+            profile=profile_on)
         specs.extend(roots)
         cell_ids.append(cell_id)
     if not specs:
@@ -304,10 +347,31 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             f"selected GPUs"
         )
 
+    # Campaign-level profile accumulator (folded from cell_profile
+    # payloads as cells finish; profiled work time feeds the report's
+    # coverage line).
+    campaign_prof = {"data": None, "cells": 0, "work_s": 0.0}
+
     def on_complete(job: JobSpec, payload: dict, cached: bool) -> None:
         if job.kind == jobs.CELL:
+            prof = payload.pop("_profile", None) if profile_on else None
             if hub is not None:
                 hub.record("cell_finish", **_cell_event(payload, cached))
+                if prof is not None:
+                    hub.record(
+                        "cell_profile",
+                        gpu=payload.get("gpu"),
+                        workload=payload.get("workload"),
+                        fault_model=payload.get("fault_model"),
+                        structures=sorted(payload.get("fi", {})),
+                        profile=prof)
+            if prof is not None:
+                campaign_prof["data"] = merge_profiles(
+                    campaign_prof["data"], prof)
+                campaign_prof["cells"] += 1
+                campaign_prof["work_s"] += (
+                    payload.get("golden_time_s", 0.0)
+                    + payload.get("fi_time_s", 0.0))
             if progress is not None:
                 progress(jobs.cell_from_payload(payload))
 
@@ -332,6 +396,12 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
         resolved = JobScheduler(store=store, workers=workers,
                                 telemetry=hub).run(
             specs, on_complete=on_complete, stats=stats)
+        if hub is not None and campaign_prof["data"] is not None:
+            hub.record(
+                "campaign_profile", name=spec.name,
+                cells=campaign_prof["cells"],
+                work_s=campaign_prof["work_s"],
+                profile=campaign_prof["data"])
         if hub is not None:
             hub.record(
                 "campaign_end", name=spec.name, cells=len(cell_ids),

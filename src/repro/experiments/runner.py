@@ -22,7 +22,14 @@ of argparse *subcommands* over it, sharing one set of option groups:
   per-kind job counts, cache hit rates, worker occupancy, injection
   throughput and (for an in-progress campaign) an ETA — from the
   telemetry stream recorded next to the store
-  (:mod:`repro.telemetry`).
+  (:mod:`repro.telemetry`). ``--follow`` live-tails the stream,
+  refreshing the panel as a running campaign appends events
+  (``--once`` renders a single refresh and exits, for scripts);
+* ``profile STORE`` renders the hot-path profiling report — per-phase
+  wall-time breakdown, per-ISA opcode-class dispatch mix, counters and
+  top cost centers — from the ``cell_profile``/``campaign_profile``
+  events a campaign run with ``--profile`` (or ``profile = true`` in
+  the spec) records (:mod:`repro.telemetry.profile`).
 
 Campaigns run on the job-graph execution engine: golden runs are
 shared between figures, ``--workers`` runs whole (GPU, benchmark)
@@ -224,6 +231,17 @@ def _telemetry_parent() -> argparse.ArgumentParser:
         "--no-telemetry", action="store_true",
         help="force telemetry off even when the spec file enables it",
     )
+    group.add_argument(
+        "--profile", action="store_true", default=None,
+        help="collect the hot-path profile (per-phase timers, dispatch "
+             "counters) into the telemetry stream, for 'profile STORE'; "
+             "overrides the spec's own 'profile' field. Observability-"
+             "only: results are bit-identical with or without it",
+    )
+    group.add_argument(
+        "--no-profile", action="store_true",
+        help="force profiling off even when the spec file enables it",
+    )
     return parent
 
 
@@ -314,6 +332,36 @@ def _build_parser() -> argparse.ArgumentParser:
     status_parser.add_argument(
         "store", help="path to the result store (JSONL)")
     status_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="telemetry JSONL to read (default: the store's "
+             ".telemetry.jsonl sibling)",
+    )
+    status_parser.add_argument(
+        "--follow", action="store_true",
+        help="live-tail the telemetry stream: re-render the panel as a "
+             "running campaign appends events, exit when it completes "
+             "(tolerant of a partially written last line)",
+    )
+    status_parser.add_argument(
+        "--once", action="store_true",
+        help="with --follow: render one refresh and exit (scripts/CI)",
+    )
+    status_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--follow poll interval (default: 2.0)",
+    )
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="render the hot-path profiling report for a result store",
+        description="Render the hot-path profiling report for a result "
+                    "store: per-phase wall-time breakdown, per-ISA "
+                    "opcode-class dispatch mix, counters and top cost "
+                    "centers, from the cell_profile/campaign_profile "
+                    "events a campaign run with --profile recorded.")
+    profile_parser.add_argument(
+        "store", help="path to the result store (JSONL)")
+    profile_parser.add_argument(
         "--telemetry", default=None, metavar="PATH",
         help="telemetry JSONL to read (default: the store's "
              ".telemetry.jsonl sibling)",
@@ -425,6 +473,20 @@ def _telemetry_arg(args):
     return args.telemetry
 
 
+def _profile_arg(args):
+    """The run/sweep profile setting from the flag pair.
+
+    ``None`` defers to the spec's own ``profile`` field; ``False``
+    forces it off; ``True`` comes from ``--profile``.
+    """
+    if args.no_profile:
+        if args.profile:
+            raise ConfigError(
+                "--profile and --no-profile are mutually exclusive")
+        return False
+    return args.profile
+
+
 def _progress(cell):
     print(
         f"  [{time.strftime('%H:%M:%S')}] {cell.gpu:<26} {cell.workload:<12} "
@@ -517,6 +579,14 @@ def _scalar_value(key: str, text: str):
         if low in ("false", "off", "0", "no", "none"):
             return False
         return text  # a JSONL path
+    if key == "profile":
+        low = text.lower()
+        if low in ("true", "on", "1", "yes"):
+            return True
+        if low in ("false", "off", "0", "no", "none"):
+            return False
+        raise ConfigError(
+            f"spec field {key!r}: expected true/false, got {text!r}")
     return text
 
 
@@ -628,7 +698,7 @@ def _main_run(args) -> int:
     result = run_campaign(
         spec, store=args.resume, workers=args.workers,
         progress=None if args.quiet else _progress, stats=stats,
-        telemetry=telemetry)
+        telemetry=telemetry, profile=_profile_arg(args))
     anchor = spec.resolved_structures()[0]
     # Cells whose chip does not expose the anchor structure never
     # sampled it; keep them out of the table instead of rendering a
@@ -674,7 +744,7 @@ def _main_sweep(args) -> int:
     result = run_sweep(
         spec, axes, store=args.resume, workers=args.workers,
         progress=None if args.quiet else _progress, stats=stats,
-        telemetry=telemetry)
+        telemetry=telemetry, profile=_profile_arg(args))
     print(result.summary())
     if args.out:
         write_cells_csv(result.cells, args.out)
@@ -682,12 +752,20 @@ def _main_sweep(args) -> int:
     return 0
 
 
+def _store_counts(store_path: Path) -> dict:
+    store = ResultStore(store_path)
+    try:
+        return store.counts_by_kind()
+    finally:
+        store.close()
+
+
 def _main_status(args) -> int:
     """``status STORE``: the campaign monitor panel."""
     from repro.telemetry import (
         aggregate_events,
         format_status,
-        load_telemetry,
+        load_telemetry_events,
         telemetry_path_for_store,
     )
     store_path = Path(args.store)
@@ -695,16 +773,89 @@ def _main_status(args) -> int:
         raise ConfigError(
             f"result store not found: {store_path} (give the JSONL file a "
             f"campaign wrote via --resume)")
-    store = ResultStore(store_path)
-    try:
-        counts = store.counts_by_kind()
-    finally:
-        store.close()
     telemetry_path = (Path(args.telemetry) if args.telemetry
                       else telemetry_path_for_store(store_path))
-    events = load_telemetry(telemetry_path) if telemetry_path.exists() else []
+    if args.follow or args.once:
+        return _follow_status(store_path, telemetry_path,
+                              interval=args.interval, once=args.once)
+    counts = _store_counts(store_path)
+    events, skipped = (load_telemetry_events(telemetry_path)
+                       if telemetry_path.exists() else ([], 0))
     print(format_status(store_path, counts, aggregate_events(events),
                         telemetry_path=telemetry_path))
+    if skipped:
+        print(f"({skipped} partial/unparseable telemetry lines skipped — "
+              f"a campaign may still be writing)", file=sys.stderr)
+    return 0
+
+
+def _follow_status(store_path: Path, telemetry_path: Path, *,
+                   interval: float, once: bool) -> int:
+    """``status --follow``: live-tail the telemetry stream.
+
+    Polls the JSONL for appended events (tolerating the partially
+    written last line of an in-flight campaign), re-renders the panel
+    when something new arrived, and exits once the stream shows every
+    begun campaign completed — or immediately after one render with
+    ``--once``.
+    """
+    from repro.telemetry import TelemetryTail, aggregate_events, format_status
+    tail = TelemetryTail(telemetry_path)
+    events: list = []
+    first = True
+    try:
+        while True:
+            fresh = tail.poll()
+            events.extend(fresh)
+            if first or fresh:
+                status = aggregate_events(events)
+                if not first:
+                    print()
+                print(format_status(store_path, _store_counts(store_path),
+                                    status, telemetry_path=telemetry_path),
+                      flush=True)
+                if tail.skipped:
+                    print(f"({tail.skipped} partial/unparseable telemetry "
+                          f"lines skipped)", file=sys.stderr, flush=True)
+                if once:
+                    return 0
+                if status.campaigns_begun and not status.in_progress:
+                    return 0
+                first = False
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _main_profile(args) -> int:
+    """``profile STORE``: the hot-path profiling report."""
+    from repro.telemetry import (
+        aggregate_profiles,
+        format_profile,
+        load_telemetry_events,
+        telemetry_path_for_store,
+    )
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise ConfigError(
+            f"result store not found: {store_path} (give the JSONL file a "
+            f"campaign wrote via --resume)")
+    telemetry_path = (Path(args.telemetry) if args.telemetry
+                      else telemetry_path_for_store(store_path))
+    if not telemetry_path.exists():
+        raise ConfigError(
+            f"no telemetry stream at {telemetry_path}; re-run the campaign "
+            f"with --profile (or set profile = true in the spec) to record "
+            f"one")
+    events, skipped = load_telemetry_events(telemetry_path)
+    work = [e.get("work_s") for e in events
+            if e.get("event") == "campaign_profile"]
+    work_s = sum(w for w in work if w) or None
+    print(format_profile(store_path, aggregate_profiles(events),
+                         work_s=work_s))
+    if skipped:
+        print(f"({skipped} partial/unparseable telemetry lines skipped — "
+              f"a campaign may still be writing)", file=sys.stderr)
     return 0
 
 
@@ -727,7 +878,7 @@ def main(argv=None) -> int:
     if args.command is None:
         print("error: an experiment "
               f"({'|'.join((*sorted(_EXPERIMENTS), 'all'))}) or a "
-              "subcommand (run|sweep|status) is required unless "
+              "subcommand (run|sweep|status|profile) is required unless "
               "--list-gpus/--list-workloads/--list-fault-models/"
               "--list-structures is given",
               file=sys.stderr)
@@ -742,6 +893,8 @@ def main(argv=None) -> int:
             return _main_sweep(args)
         if args.command == "status":
             return _main_status(args)
+        if args.command == "profile":
+            return _main_profile(args)
         return _main_figures(args)
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -60,6 +60,7 @@ from repro.arch.structures import DATAPATH_STRUCTURES
 from repro.sim.faults import FaultPlan
 from repro.sim.gpu import Gpu, default_watchdog_for
 from repro.sim.tracing import CompositeSink
+from repro.telemetry import profile as _profile
 
 
 @dataclass
@@ -99,7 +100,8 @@ def run_golden(config: GpuConfig, workload: Workload, scheduler: str = "rr",
     occupancy = OccupancyAccumulator(config)
     gpu = Gpu(config, scheduler=scheduler, sink=CompositeSink(ace, occupancy))
     start = time.perf_counter()
-    result = run_workload(gpu, workload, monitor=monitor)
+    with _profile.phase("golden"):
+        result = run_workload(gpu, workload, monitor=monitor)
     elapsed = time.perf_counter() - start
     return GoldenRun(
         config=config,
@@ -183,26 +185,31 @@ def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
                 run_faulty_from_checkpoints,
             )
             try:
-                result = run_faulty_from_checkpoints(
-                    config, workload, plan, scheduler, watchdog, snapshots,
-                    fault_model=fault_model)
+                with _profile.phase("suffix_sim"):
+                    result = run_faulty_from_checkpoints(
+                        config, workload, plan, scheduler, watchdog,
+                        snapshots, fault_model=fault_model)
             except ConvergedToGolden:
                 # Full-state digest matched golden: the rest of the run
                 # is provably the golden run — MASKED, golden cycles.
+                _profile.count("exit:masked_early")
                 return FaultResult(plan, Outcome.MASKED, True,
                                    cycles=golden_cycles, early_exit=True)
         else:
-            gpu = Gpu(config, scheduler=scheduler)
-            gpu.set_faults([plan], fault_model=fault_model)
-            gpu.set_watchdog(watchdog)
-            result = run_workload(gpu, workload)
+            with _profile.phase("suffix_sim"):
+                gpu = Gpu(config, scheduler=scheduler)
+                gpu.set_faults([plan], fault_model=fault_model)
+                gpu.set_watchdog(watchdog)
+                result = run_workload(gpu, workload)
     except SimFault as fault:
+        _profile.count(f"exit:due:{type(fault).__name__}")
         return FaultResult(plan, Outcome.DUE, True, detail=type(fault).__name__)
     outcome = classify_outputs(golden_outputs, result.outputs)
     corrupted = (
         count_corrupted_words(golden_outputs, result.outputs)
         if outcome is Outcome.SDC else 0
     )
+    _profile.count("exit:sdc" if outcome is Outcome.SDC else "exit:masked_full")
     return FaultResult(plan, outcome, True, corrupted_words=corrupted,
                        cycles=result.cycles)
 

@@ -20,6 +20,7 @@ from repro.isa.sass.opcodes import SASS_OPCODES
 from repro.sim.core import CoreBase
 from repro.sim.simt_stack import NO_RECONV
 from repro.sim.warp import BlockState, SassWarp
+from repro.telemetry import profile as _profile
 
 
 def _bools_to_mask(bools: np.ndarray) -> int:
@@ -92,6 +93,12 @@ class SassCore(CoreBase):
             )
         inst = program.at(pc)
         info = SASS_OPCODES[inst.opcode]
+
+        # Hot-path profiling hook: one global read + branch when off.
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.dispatch("sass", info.latency_class,
+                          bool(info.memory_space))
 
         active_mask = warp.stack.active_mask
         active_bool = _mask_to_bools(active_mask, self.config.warp_size)

@@ -18,6 +18,7 @@ from repro.isa.si import semantics
 from repro.isa.si.opcodes import SI_OPCODES
 from repro.sim.core import CoreBase
 from repro.sim.warp import BlockState, SiWavefront
+from repro.telemetry import profile as _profile
 
 _MASK64 = (1 << 64) - 1
 
@@ -94,6 +95,12 @@ class SiCore(CoreBase):
             )
         inst = program.at(pc)
         info = SI_OPCODES[inst.opcode]
+
+        # Hot-path profiling hook: one global read + branch when off.
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.dispatch("si", info.latency_class,
+                          bool(info.memory_space))
 
         self._wave = wave
         self.scc = wave.scc

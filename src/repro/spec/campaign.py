@@ -123,6 +123,12 @@ class CampaignSpec:
     #: observability-only — never part of any job fingerprint, and the
     #: result store is bit-identical with it on or off.
     telemetry: bool | str | None = None
+    #: Hot-path profiling (phase timers + dispatch counters feeding
+    #: ``cell_profile``/``campaign_profile`` telemetry events and the
+    #: ``profile STORE`` report): None/False = off, True = on. Same
+    #: guarantee as ``telemetry``: never part of any job fingerprint,
+    #: result stores bit-identical with it on or off.
+    profile: bool | None = None
     #: Optional human-readable label (spec files, sweep tables). Not
     #: part of any job fingerprint.
     name: str | None = None
@@ -217,6 +223,10 @@ class CampaignSpec:
             if not self.telemetry:
                 raise _field_error(
                     "telemetry", "path must be a non-empty string")
+        if self.profile is not None and not isinstance(self.profile, bool):
+            raise _field_error(
+                "profile",
+                f"expected true/false, got {self.profile!r}")
         if self.name is not None and not isinstance(self.name, str):
             raise _field_error(
                 "name", f"expected a string, got {self.name!r}")

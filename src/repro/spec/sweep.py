@@ -99,7 +99,8 @@ class SweepResult:
 
 
 def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
-              progress=None, stats=None, telemetry=None) -> SweepResult:
+              progress=None, stats=None, telemetry=None,
+              profile=None) -> SweepResult:
     """Expand ``base`` x ``axes`` and run every child campaign.
 
     All children share ``store`` (a :class:`ResultStore` or a path,
@@ -113,6 +114,12 @@ def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
     campaign emits into the same hub/JSONL stream, bracketed by
     ``sweep_begin`` / ``sweep_end`` events — so one `status` view
     covers the sweep end to end.
+
+    ``profile`` (``None`` defers to the base spec's ``profile`` field)
+    is likewise resolved once and applied to every child: each child
+    campaign emits its ``cell_profile``/``campaign_profile`` events
+    into the shared stream, so ``repro-experiments profile STORE``
+    aggregates the whole sweep.
     """
     from repro.engine.matrix import run_campaign
     from repro.engine.scheduler import CampaignStats
@@ -125,6 +132,16 @@ def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
         store = ResultStore(store)
     hub, own_hub = resolve_telemetry(
         base.telemetry if telemetry is None else telemetry, store)
+    profile_on = bool(base.profile if profile is None else profile)
+    if profile_on and hub is None:
+        try:
+            hub, own_hub = resolve_telemetry(True, store)
+        except ConfigError:
+            raise ConfigError(
+                "profiling needs somewhere to emit its events: give the "
+                "sweep a persistent store (the profile stream lands next "
+                "to it) or an explicit telemetry destination"
+            ) from None
     result = SweepResult(base=base, axes=dict(axes))
     if hub is not None:
         hub.record("sweep_begin", name=base.name,
@@ -135,7 +152,8 @@ def run_sweep(base: CampaignSpec, axes: dict, *, store=None, workers: int = 1,
             campaign = run_campaign(spec, store=store, workers=workers,
                                     progress=progress, stats=child_stats,
                                     telemetry=hub if hub is not None
-                                    else False)
+                                    else False,
+                                    profile=profile_on)
             if stats is not None:
                 stats.merge(child_stats)
             result.runs.append(SweepRun(

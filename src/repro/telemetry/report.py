@@ -1,0 +1,176 @@
+"""Rendering for ``repro-experiments profile STORE``.
+
+Consumes the ``cell_profile`` / ``campaign_profile`` events a profiled
+campaign appends to the telemetry stream (see
+:mod:`repro.telemetry.profile` for how they are collected) and renders
+the phase-time breakdown, the per-ISA opcode-class dispatch mix, and a
+"top cost centers" list per (workload x fault model x structures)
+group. Pure functions over already-loaded event dicts, so tests and
+notebooks can drive them without a CLI.
+"""
+
+from __future__ import annotations
+
+from .profile import PHASES, merge_profiles
+
+#: cell_profile fields that identify a report group, in display order.
+GROUP_KEYS = ("workload", "fault_model", "structures")
+
+
+def _group_label(event: dict) -> str:
+    parts = []
+    for key in GROUP_KEYS:
+        value = event.get(key)
+        if isinstance(value, (list, tuple)):
+            value = "+".join(str(v) for v in value)
+        parts.append(str(value) if value is not None else "?")
+    return " x ".join(parts)
+
+
+def aggregate_profiles(events) -> dict:
+    """Fold a telemetry event stream into profile aggregates.
+
+    Returns ``{"total": merged-profile-or-None, "groups": {label:
+    merged-profile}, "cells": n, "campaigns": n}`` where each merged
+    profile is in ``ProfileCollector.as_dict()`` format. ``groups``
+    come from ``cell_profile`` events; ``total`` prefers the driver's
+    ``campaign_profile`` summaries (summing across campaigns in a
+    sweep) and falls back to summing the cells when a run was
+    interrupted before the summary was written.
+    """
+    total = None
+    groups: dict = {}
+    cell_sum = None
+    cells = 0
+    campaigns = 0
+    for event in events:
+        kind = event.get("event")
+        if kind == "cell_profile":
+            cells += 1
+            profile = event.get("profile")
+            label = _group_label(event)
+            groups[label] = merge_profiles(groups.get(label), profile)
+            cell_sum = merge_profiles(cell_sum, profile)
+        elif kind == "campaign_profile":
+            campaigns += 1
+            total = merge_profiles(total, event.get("profile"))
+    if total is None:
+        total = cell_sum
+    return {"total": total, "groups": groups, "cells": cells,
+            "campaigns": campaigns}
+
+
+def _phase_rows(profile: dict):
+    """(name, seconds, share, calls) rows for known-then-extra phases."""
+    phases = profile.get("phases", {})
+    calls = profile.get("phase_calls", {})
+    ordered = [name for name in PHASES if name in phases]
+    ordered += sorted(set(phases) - set(PHASES))
+    total = sum(phases.values()) or 1.0
+    return [(name, phases[name], phases[name] / total,
+             calls.get(name, 0)) for name in ordered]
+
+
+def _format_phase_table(profile: dict, indent: str = "  ") -> list:
+    lines = []
+    rows = _phase_rows(profile)
+    if not rows:
+        return [indent + "(no phase timings recorded)"]
+    width = max(len(name) for name, *_ in rows)
+    for name, seconds, share, calls in rows:
+        lines.append(
+            f"{indent}{name:<{width}}  {seconds:>9.3f}s  {share:>6.1%}"
+            f"  ({calls} calls)")
+    total = sum(seconds for _, seconds, _, _ in rows)
+    lines.append(f"{indent}{'total':<{width}}  {total:>9.3f}s  {1:>6.1%}")
+    return lines
+
+
+def _format_dispatch_table(profile: dict, indent: str = "  ") -> list:
+    dispatch = profile.get("dispatch", {})
+    if not dispatch:
+        return [indent + "(no dispatch counts recorded)"]
+    classes = sorted({cls for per_isa in dispatch.values()
+                      for cls in per_isa})
+    lines = []
+    header = f"{indent}{'isa':<6}" + "".join(
+        f"{cls:>9}" for cls in classes) + f"{'total':>11}"
+    lines.append(header)
+    for isa in sorted(dispatch):
+        per_isa = dispatch[isa]
+        row = f"{indent}{isa:<6}" + "".join(
+            f"{per_isa.get(cls, 0):>9}" for cls in classes)
+        lines.append(row + f"{sum(per_isa.values()):>11}")
+    return lines
+
+
+def _format_counters(profile: dict, indent: str = "  ") -> list:
+    counters = profile.get("counters", {})
+    ordered = [k for k in ("warp_issues", "memory_ops", "checkpoint_hit",
+                           "checkpoint_miss", "digest_checks")
+               if k in counters]
+    ordered += sorted(k for k in counters if k not in ordered)
+    if not ordered:
+        return [indent + "(no counters recorded)"]
+    width = max(len(k) for k in ordered)
+    return [f"{indent}{k:<{width}}  {counters[k]}" for k in ordered]
+
+
+def top_cost_centers(groups: dict, limit: int = 8) -> list:
+    """Largest (group, phase) exclusive-seconds pairs across the run."""
+    centers = []
+    for label, profile in groups.items():
+        for name, seconds in profile.get("phases", {}).items():
+            centers.append((seconds, label, name))
+    centers.sort(key=lambda c: (-c[0], c[1], c[2]))
+    return centers[:limit]
+
+
+def format_profile(store_path, aggregates: dict, *,
+                   work_s: float | None = None) -> str:
+    """Render the ``profile STORE`` report panel.
+
+    ``work_s`` is the campaign's own accounting of cell work
+    (golden_time_s + fi_time_s summed over profiled cells); when
+    given, a coverage line reports how much of it the phase timers
+    attribute.
+    """
+    lines = [f"profile: {store_path}"]
+    total = aggregates.get("total")
+    cells = aggregates.get("cells", 0)
+    if total is None:
+        lines.append("  no profile events recorded")
+        lines.append("  (re-run the campaign with --profile, or set"
+                     " profile = true in the spec)")
+        return "\n".join(lines)
+    campaigns = aggregates.get("campaigns", 0)
+    lines.append(f"  profiled cells: {cells}"
+                 f"  campaign summaries: {campaigns}")
+    lines.append("")
+    lines.append("phase breakdown (exclusive wall time)")
+    lines.extend(_format_phase_table(total))
+    attributed = sum(total.get("phases", {}).values())
+    if work_s is not None and work_s > 0:
+        lines.append(f"  coverage: {attributed:.3f}s attributed of"
+                     f" {work_s:.3f}s cell work"
+                     f" ({attributed / work_s:.1%})")
+    lines.append("")
+    lines.append("opcode-class dispatch mix")
+    lines.extend(_format_dispatch_table(total))
+    lines.append("")
+    lines.append("counters")
+    lines.extend(_format_counters(total))
+    groups = aggregates.get("groups", {})
+    if groups:
+        lines.append("")
+        lines.append("per (workload x fault model x structures)")
+        for label in sorted(groups):
+            lines.append(f"  {label}")
+            lines.extend(_format_phase_table(groups[label], indent="    "))
+        centers = top_cost_centers(groups)
+        if centers:
+            lines.append("")
+            lines.append("top cost centers")
+            for seconds, label, name in centers:
+                lines.append(f"  {seconds:>9.3f}s  {label} :: {name}")
+    return "\n".join(lines)

@@ -171,25 +171,43 @@ def telemetry_path_for_store(store_path: str | Path) -> Path:
     return store_path.with_name(store_path.stem + ".telemetry.jsonl")
 
 
+def load_telemetry_events(path: str | Path) -> tuple[list[dict], int]:
+    """``(events, skipped)`` of one telemetry JSONL file, in file order.
+
+    Torn trailing lines (a campaign killed — or still writing — mid-
+    line) are skipped, not raised, including a line torn inside a
+    multi-byte UTF-8 sequence: the file is read as bytes and each line
+    decoded independently, so one bad line never poisons the rest.
+    ``skipped`` counts the non-empty lines that failed to parse into a
+    telemetry event, letting callers surface an in-flight write.
+    """
+    path = Path(path)
+    events = []
+    skipped = 0
+    for line in path.read_bytes().split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            skipped += 1
+            continue
+        if isinstance(event, dict) and "event" in event:
+            events.append(event)
+        else:
+            skipped += 1
+    return events, skipped
+
+
 def load_telemetry(path: str | Path) -> list[dict]:
     """Events of one telemetry JSONL file, in file order.
 
     Torn trailing lines (a campaign killed mid-write) are skipped, the
-    same tolerance the result store applies to its own JSONL.
+    same tolerance the result store applies to its own JSONL; use
+    :func:`load_telemetry_events` to also learn how many lines were
+    skipped.
     """
-    path = Path(path)
-    events = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError:
-            continue
-        if isinstance(event, dict) and "event" in event:
-            events.append(event)
-    return events
+    return load_telemetry_events(path)[0]
 
 
 def resolve_telemetry(setting, store) -> tuple[TelemetryHub | None, bool]:

@@ -26,7 +26,10 @@ def test_key_surfaces_are_exported():
         # observability
         "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
         "CallbackTelemetrySink", "TelemetryHub", "load_telemetry",
-        "telemetry_path_for_store",
+        "load_telemetry_events", "telemetry_path_for_store",
+        # profiling
+        "ProfileCollector", "TelemetryTail", "aggregate_profiles",
+        "format_profile", "top_cost_centers",
         # access traces
         "TraceSink", "CompositeSink", "EventRecorder", "JsonlTraceSink",
         "read_trace_events",

@@ -107,6 +107,115 @@ class TestStatusRendering:
         assert "store.telemetry.jsonl" in panel
 
 
+class TestZeroExecutedEdges:
+    """ETA/throughput must degrade to None, never divide by zero."""
+
+    def test_empty_stream_rates_are_none(self):
+        status = aggregate_events([])
+        assert status.eta_s is None
+        assert status.samples_per_s is None
+        assert status.utilization is None
+
+    def test_begun_but_no_cell_finished(self):
+        begin = [e for e in load_telemetry(TELEMETRY)
+                 if e["event"] == "campaign_begin"]
+        status = aggregate_events(begin)
+        assert status.in_progress and status.cells_done == 0
+        assert status.eta_s is None
+        assert status.samples_per_s is None
+        panel = format_status("store.jsonl", {}, status,
+                              now=status.last_ts + 1.0)
+        assert "n/a" in panel
+
+    def test_completed_stream_has_no_eta(self):
+        status = aggregate_events(load_telemetry(TELEMETRY))
+        assert not status.in_progress
+        assert status.eta_s is None
+
+    def test_fully_cached_resume_renders(self, tmp_path, capsys):
+        # Replay of the fixture store: 0 executed jobs, panel must
+        # still render without an ETA or a crash.
+        spec = tmp_path / "spec.toml"
+        spec.write_text(
+            'gpus = ["gtx480"]\nworkloads = ["vectoradd", "histogram"]\n'
+            'scale = "small"\nsamples = 8\nseed = 0\n'
+            'structures = ["register_file"]\n')
+        store = tmp_path / "status_store.jsonl"
+        store.write_text(STORE.read_text())
+        assert main(["run", str(spec), "--quiet", "--telemetry",
+                     "--resume", str(store)]) == 0
+        capsys.readouterr()
+        status = aggregate_events(
+            load_telemetry(tmp_path / "status_store.telemetry.jsonl"))
+        assert status.jobs_executed == 0
+        assert status.eta_s is None
+        assert main(["status", str(store)]) == 0
+        assert "completed in" in capsys.readouterr().out
+
+
+class TestFollowMode:
+    def test_follow_once_renders_and_exits(self, capsys):
+        assert main(["status", str(STORE), "--follow", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "completed in" in out
+
+    def test_follow_exits_when_campaign_already_ended(self, capsys):
+        # Stream ends with campaign_end → the follow loop must return
+        # after the first poll instead of tailing forever.
+        assert main(["status", str(STORE), "--follow"]) == 0
+        assert "completed in" in capsys.readouterr().out
+
+    def test_follow_tolerates_torn_final_line(self, tmp_path, capsys):
+        store = tmp_path / "status_store.jsonl"
+        store.write_text(STORE.read_text())
+        telemetry = tmp_path / "status_store.telemetry.jsonl"
+        telemetry.write_text(TELEMETRY.read_text() + '{"v": 1, "se')
+        assert main(["status", str(store), "--follow", "--once"]) == 0
+        assert "completed in" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "not found" in err
+
+    def test_missing_telemetry_exits_2(self, tmp_path, capsys):
+        store = tmp_path / "bare.jsonl"
+        store.write_text(STORE.read_text())
+        assert main(["profile", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "--profile" in err and "Traceback" not in err
+
+    def test_stream_without_profile_events_hints(self, capsys):
+        # The fixture stream predates profiling: report must point at
+        # --profile rather than render an empty table.
+        assert main(["profile", str(STORE)]) == 0
+        out = capsys.readouterr().out
+        assert "no profile events" in out
+        assert "--profile" in out
+
+    def test_profile_flag_conflict_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text('gpus = ["gtx480"]\nworkloads = ["vectoradd"]\n'
+                        'scale = "tiny"\nsamples = 4\n')
+        assert main(["run", str(spec), "--profile", "--no-profile"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_run_profile_then_report_end_to_end(self, tmp_path, capsys):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text('gpus = ["gtx480"]\nworkloads = ["vectoradd"]\n'
+                        'scale = "tiny"\nsamples = 4\n')
+        store = tmp_path / "store.jsonl"
+        assert main(["run", str(spec), "--quiet", "--profile",
+                     "--resume", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "100.0%" in out
+        assert "sass" in out
+
+
 class TestConsolidatedCli:
     @pytest.mark.parametrize("legacy,current", [
         ("control_avf", "control"), ("model_compare", "models"),
@@ -162,7 +271,7 @@ class TestConsolidatedCli:
 
     def test_subcommand_help_exists_for_every_command(self):
         for command in ("fig1", "fig2", "fig3", "control", "models",
-                        "all", "run", "sweep", "status"):
+                        "all", "run", "sweep", "status", "profile"):
             with pytest.raises(SystemExit) as excinfo:
                 main([command, "--help"])
             assert excinfo.value.code == 0
