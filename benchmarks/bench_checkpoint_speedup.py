@@ -12,10 +12,18 @@ The CI gate (``scripts/check_bench.py``) requires the checkpointed
 path to deliver at least the ``min_speedup`` recorded in
 ``extra_info`` (1.5x on the resimulation phase).
 
+Both runs are pinned to the pure-python reference interpreter with
+the suffix memo off, isolating the *checkpoint* optimization: the
+vector backend and the memo each shrink or shift the resim time this
+bench divides, and their combined effect is gated separately by
+``bench_sim_throughput.py::test_fastpath_speedup``.
+
 Knobs: ``REPRO_FI_SAMPLES`` / ``REPRO_SCALE`` (see conftest).
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from benchmarks.conftest import bench_samples, bench_scale
 from repro.arch.config import GpuConfig, LatencyModel
@@ -73,7 +81,9 @@ def test_checkpoint_speedup(benchmark):
     scale = bench_scale()
 
     goldens = [
-        (config, get_workload(name, scale)) for config, name in CELLS
+        (dataclasses.replace(config, backend="python"),
+         get_workload(name, scale))
+        for config, name in CELLS
     ]
     baseline_s = 0.0
     injections = 0
@@ -81,7 +91,8 @@ def test_checkpoint_speedup(benchmark):
     plain = [run_golden(config, workload) for config, workload in goldens]
     for (config, workload), golden in zip(goldens, plain):
         campaign = run_fi_campaign(config, workload, golden,
-                                   samples=samples, seed=1)
+                                   samples=samples, seed=1,
+                                   suffix_memo=False)
         baseline_s += _resim_seconds(campaign)
         injections += sum(e.resimulated for e in campaign.estimates.values())
         baseline_counts.append(_counts(campaign))
@@ -96,6 +107,7 @@ def test_checkpoint_speedup(benchmark):
         for (config, workload), golden in zip(goldens, checkpointed):
             results.append(run_fi_campaign(config, workload, golden,
                                            samples=samples, seed=1,
+                                           suffix_memo=False,
                                            keep_results=True))
         return results
 

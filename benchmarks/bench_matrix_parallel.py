@@ -5,6 +5,13 @@ process pool, verifies the cells are identical, and records the
 speedup. The golden-run memory cache is cleared between the runs so
 each pays the full campaign cost.
 
+Pinned to the pure-python reference interpreter, isolating the *pool*
+optimization: the vector backend halves the per-cell work, and at
+smoke scale what remains is dominated by the pool's fixed process
+start-up cost, turning the gate into a coin flip. The combined fast
+path is gated separately by
+``bench_sim_throughput.py::test_fastpath_speedup``.
+
 Knobs: ``REPRO_FI_SAMPLES`` / ``REPRO_SCALE`` (see conftest) plus
 ``REPRO_BENCH_WORKERS`` (default: min(4, cpu_count)).
 """
@@ -40,7 +47,7 @@ def test_matrix_parallel_speedup(benchmark):
 
     spec = CampaignSpec(gpus=tuple(gpus), workloads=tuple(WORKLOADS),
                         scale=scale, samples=samples, seed=1,
-                        structures=STRUCTURES)
+                        structures=STRUCTURES, backend="python")
 
     clear_memory_cache()
     start = time.perf_counter()
@@ -63,10 +70,16 @@ def test_matrix_parallel_speedup(benchmark):
     assert [comparable(c) for c in serial] == [comparable(c) for c in parallel]
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    # A 1-core host cannot show a pool speedup, only the pool's
+    # overhead (the docstring's "~1x or below" case) — record the
+    # datapoint but tell check_bench not to gate it there.
+    gated = (os.cpu_count() or 1) >= 2
     print(f"\nMatrix wall-time ({len(serial)} cells, n={samples}, {scale}): "
           f"workers=1 {serial_s:6.1f}s  workers={workers} {parallel_s:6.1f}s  "
-          f"speedup x{speedup:.2f}")
+          f"speedup x{speedup:.2f}"
+          + ("" if gated else "  (1-core host: trend only)"))
     benchmark.extra_info["serial_s"] = round(serial_s, 2)
     benchmark.extra_info["parallel_s"] = round(parallel_s, 2)
     benchmark.extra_info["workers"] = workers
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["min_speedup"] = 1.0 if gated else 0.0

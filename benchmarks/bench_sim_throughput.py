@@ -89,6 +89,94 @@ def test_profile_hook_overhead(benchmark):
     benchmark.extra_info["profile_overhead_pct"] = round(overhead_pct, 2)
 
 
+def test_fastpath_speedup(benchmark):
+    """FASTPATH — the whole acceleration stack vs the reference path.
+
+    Baseline: pure-python lane interpreter, no checkpoints, no memo —
+    every live fault re-simulated from cycle zero one lane at a time.
+    Accelerated: vector backend + auto checkpoints + cross-sample
+    suffix memoization, i.e. what a default campaign runs. Outcome
+    counts must be identical; the CI gate (``scripts/check_bench.py``)
+    requires ``fastpath_speedup`` to clear ``min_speedup`` (3x on the
+    smoke matrix; the full matrix targets 5x+). Memo hit counts are
+    recorded as trend-only datapoints.
+
+    Pinned to ``small`` scale (knob: ``REPRO_FASTPATH_SCALE``) rather
+    than the suite-wide ``REPRO_SCALE``: at ``tiny`` the runs are so
+    short that machine construction and restore overheads — identical
+    on both paths — dominate, and the bench would measure those
+    instead of the interpreters. ``REPRO_FASTPATH_SAMPLES`` bounds the
+    pure-python baseline's wall-clock cost.
+    """
+    import dataclasses
+    import os
+
+    from benchmarks.bench_checkpoint_speedup import (
+        CELLS,
+        _counts,
+        _resim_seconds,
+    )
+    from repro.reliability.fi import run_fi_campaign, run_golden
+
+    samples = int(os.environ.get("REPRO_FASTPATH_SAMPLES", 40))
+    scale = os.environ.get("REPRO_FASTPATH_SCALE", "small")
+
+    reference = [
+        (dataclasses.replace(config, backend="python"),
+         get_workload(name, scale))
+        for config, name in CELLS
+    ]
+    baseline_s = 0.0
+    injections = 0
+    baseline_counts = []
+    for config, workload in reference:
+        golden = run_golden(config, workload)
+        campaign = run_fi_campaign(config, workload, golden,
+                                   samples=samples, seed=1,
+                                   suffix_memo=False)
+        baseline_s += _resim_seconds(campaign)
+        injections += sum(e.resimulated for e in campaign.estimates.values())
+        baseline_counts.append(_counts(campaign))
+
+    fast = [(config, get_workload(name, scale)) for config, name in CELLS]
+    goldens = [
+        run_golden(config, workload, checkpoint_interval="auto")
+        for config, workload in fast
+    ]
+
+    def accelerated_matrix():
+        results = []
+        for (config, workload), golden in zip(fast, goldens):
+            results.append(run_fi_campaign(config, workload, golden,
+                                           samples=samples, seed=1,
+                                           keep_results=True))
+        return results
+
+    campaigns = benchmark.pedantic(accelerated_matrix, rounds=1,
+                                   iterations=1)
+    accelerated_s = sum(_resim_seconds(c) for c in campaigns)
+    assert [_counts(c) for c in campaigns] == baseline_counts
+
+    speedup = baseline_s / accelerated_s if accelerated_s else float("inf")
+    base_ips = injections / baseline_s if baseline_s else float("inf")
+    fast_ips = injections / accelerated_s if accelerated_s else float("inf")
+    memo_hits = sum((c.memo or {}).get("hits", 0) for c in campaigns)
+    memo_misses = sum((c.memo or {}).get("misses", 0) for c in campaigns)
+    print(f"\nFast-path speedup ({len(CELLS)} cells, n={samples}, {scale}): "
+          f"{injections} injections, {base_ips:.1f} -> {fast_ips:.1f} inj/s "
+          f"(x{speedup:.2f}, memo {memo_hits} hits / {memo_misses} misses)")
+    benchmark.extra_info["fastpath_baseline_s"] = round(baseline_s, 3)
+    benchmark.extra_info["fastpath_accelerated_s"] = round(accelerated_s, 3)
+    benchmark.extra_info["fastpath_speedup"] = round(speedup, 2)
+    benchmark.extra_info["min_speedup"] = 3.0
+    benchmark.extra_info["backend"] = "vector"
+    benchmark.extra_info["memo_hits"] = memo_hits
+    benchmark.extra_info["memo_misses"] = memo_misses
+    benchmark.extra_info["injections"] = injections
+    benchmark.extra_info["injections_per_s"] = round(fast_ips, 2)
+    assert injections > 0, "smoke matrix drew no live faults"
+
+
 def test_profiled_campaign_phases(benchmark):
     """One profiled FI cell; records the per-phase wall-time split."""
     from repro.engine.matrix import run_campaign

@@ -10,7 +10,12 @@ shapes are understood, keyed by ``extra_info``:
   parallelism must never be a pessimisation (default floor 1.0);
 * ``baseline_s`` / ``accelerated_s`` — an optimisation benchmark (the
   checkpoint suffix-only FI speedup): must beat the per-benchmark
-  ``min_speedup`` recorded alongside (1.5x for checkpointing).
+  ``min_speedup`` recorded alongside (1.5x for checkpointing);
+* ``fastpath_baseline_s`` / ``fastpath_accelerated_s`` — the whole
+  acceleration stack (vector backend + checkpoints + suffix memo) vs
+  the pure-python reference: the ``fastpath_speedup`` key must beat
+  ``min_speedup`` (3x on the smoke matrix). The memo hit rate and
+  backend recorded alongside are printed as trend datapoints only.
 
 Profiling keys (``profile_disabled_s`` / ``profile_enabled_s`` /
 ``profile_phases``) are printed as trend datapoints but never gated —
@@ -56,7 +61,19 @@ def check(path: Path, min_speedup: float) -> int:
     for bench in benchmarks:
         info = bench.get("extra_info", {})
         name = bench.get("name", "?")
-        if "serial_s" in info and "parallel_s" in info:
+        if "fastpath_baseline_s" in info and "fastpath_accelerated_s" in info:
+            slow, fast = (info["fastpath_baseline_s"],
+                          info["fastpath_accelerated_s"])
+            floor = info.get("min_speedup", 3.0)
+            label = (f"reference {slow:.2f}s  "
+                     f"{info.get('backend', 'vector')}+memo")
+            hits = info.get("memo_hits", 0)
+            misses = info.get("memo_misses", 0)
+            probes = hits + misses
+            if probes:
+                print(f"{name}: memo {hits}/{probes} hits "
+                      f"({100.0 * hits / probes:.0f}%)  [trend only]")
+        elif "serial_s" in info and "parallel_s" in info:
             slow, fast = info["serial_s"], info["parallel_s"]
             floor = info.get("min_speedup", min_speedup)
             label = f"workers=1 {slow:.2f}s  workers={info.get('workers', '?')}"

@@ -39,7 +39,14 @@ from repro.checkpoint.capture import (
     resolve_interval,
 )
 from repro.checkpoint.convergence import ConvergedToGolden, ConvergenceMonitor
-from repro.checkpoint.digest import digest_machine
+from repro.checkpoint.digest import digest_machine, digest_machine_pair
+from repro.checkpoint.memo import (
+    MEMO_MAX_ENTRIES,
+    MemoHit,
+    MemoRecord,
+    SuffixMemo,
+    cached_memo,
+)
 from repro.checkpoint.restore import (
     restore_machine,
     resume_workload,
@@ -50,15 +57,21 @@ from repro.checkpoint.snapshot import MachineSnapshot, SnapshotPoint, SnapshotSe
 __all__ = [
     "AUTO_INTERVAL",
     "MAX_SNAPSHOTS",
+    "MEMO_MAX_ENTRIES",
     "CheckpointRecorder",
     "ConvergedToGolden",
     "ConvergenceMonitor",
     "MachineSnapshot",
+    "MemoHit",
+    "MemoRecord",
     "SnapshotPoint",
     "SnapshotSet",
+    "SuffixMemo",
+    "cached_memo",
     "cached_snapshots",
     "capture_snapshots",
     "digest_machine",
+    "digest_machine_pair",
     "restore_machine",
     "resume_workload",
     "run_faulty_from_checkpoints",

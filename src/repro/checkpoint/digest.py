@@ -108,3 +108,39 @@ def digest_machine(launch_index: int, launch_cycles: list,
     _update(h, [int(c) for c in launch_cycles])
     _update(h, state)
     return h.hexdigest()
+
+
+class _MultiHash:
+    """Fan one canonical byte stream into several hash objects."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts):
+        self.parts = parts
+
+    def update(self, data) -> None:
+        for part in self.parts:
+            part.update(data)
+
+
+def digest_machine_pair(launch_index: int, launch_cycles: list,
+                        state: dict) -> tuple[str, str]:
+    """(primary, secondary) digests of one machine image, one pass.
+
+    The primary is byte-identical to :func:`digest_machine` (SHA-256
+    over the same canonical stream), so it stays comparable with the
+    golden capture points. The secondary (BLAKE2b-128 over the same
+    stream) is an independent hash family used by the suffix memo
+    (:mod:`repro.checkpoint.memo`) to verify lookups: reusing a
+    memoized outcome requires *both* digests to match, so a primary
+    collision alone can never misclassify an injection.
+    """
+    state = dict(state)
+    state["cores"] = [_canonical_core(c) for c in state["cores"]]
+    primary = hashlib.sha256()
+    secondary = hashlib.blake2b(digest_size=16)
+    h = _MultiHash(primary, secondary)
+    _update(h, int(launch_index))
+    _update(h, [int(c) for c in launch_cycles])
+    _update(h, state)
+    return primary.hexdigest(), secondary.hexdigest()

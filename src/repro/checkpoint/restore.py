@@ -72,7 +72,7 @@ def resume_workload(gpu: Gpu, workload: Workload, launches: list,
 def run_faulty_from_checkpoints(config, workload: Workload, plan,
                                 scheduler: str, watchdog: int,
                                 snapshots: SnapshotSet,
-                                fault_model=None) -> RunResult:
+                                fault_model=None, memo=None) -> RunResult:
     """One faulty run, suffix-only when a usable snapshot exists.
 
     Restores the latest golden snapshot whose target-core clock is
@@ -83,6 +83,12 @@ def run_faulty_from_checkpoints(config, workload: Workload, plan,
     :class:`~repro.errors.SimFault` (DUE), or raises
     :class:`~repro.checkpoint.convergence.ConvergedToGolden` (MASKED
     with the golden cycle count).
+
+    ``memo`` (a :class:`~repro.checkpoint.memo.SuffixMemo`) arms the
+    monitor's cross-sample memoization as well — including for
+    persistent models, which keep the golden-convergence check off but
+    can still reuse each other's quiescent states; a verified table
+    match raises :class:`~repro.checkpoint.memo.MemoHit`.
     """
     # Imported here: the fault-model registry reaches back into the
     # sim layer, which would otherwise cycle at package-import time.
@@ -90,8 +96,10 @@ def run_faulty_from_checkpoints(config, workload: Workload, plan,
     model = get_fault_model(fault_model)
     pos, point = snapshots.restore_point_for(plan.core, plan.cycle)
     monitor = None
-    if not model.persistent:
-        monitor = ConvergenceMonitor(snapshots.points_after(pos))
+    if not model.persistent or memo is not None:
+        monitor = ConvergenceMonitor(snapshots.points_after(pos),
+                                     memo=memo,
+                                     golden_compare=not model.persistent)
     if point is None:
         _profile.count("checkpoint_miss")
         gpu = Gpu(config, scheduler=scheduler)

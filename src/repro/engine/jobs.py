@@ -268,10 +268,13 @@ def run_shard_job(args: tuple) -> dict:
     keys, with the key's width/stuck suffix inlined for extended ones.
 
     The optional trailing args (snapshots, checkpoint_interval,
-    profile flag) switch the re-simulations to suffix-only restore
-    with early-exit convergence and/or attach a ``_profile`` payload;
-    rows are bit-identical either way, so shard fingerprints — and
-    parity between checkpointed and un-checkpointed stores — are
+    profile flag, suffix_memo flag) switch the re-simulations to
+    suffix-only restore with early-exit convergence, attach a
+    ``_profile`` payload, and/or share classified quiescent states
+    across the campaign's injections via the per-process suffix memo
+    (:mod:`repro.checkpoint.memo`, keyed by golden fingerprint + fault
+    model); rows are bit-identical either way, so shard fingerprints —
+    and parity between checkpointed and un-checkpointed stores — are
     unaffected.
     """
     (config, workload_name, scale, scheduler, cycles, golden_fp,
@@ -279,18 +282,23 @@ def run_shard_job(args: tuple) -> dict:
     snapshots = args[9] if len(args) > 9 else None
     checkpoint_interval = args[10] if len(args) > 10 else None
     collector = _collector_for(args[11] if len(args) > 11 else False)
+    suffix_memo = args[12] if len(args) > 12 else False
     outputs = _decoded_outputs_for(golden_fp, outputs_encoded)
     workload = get_workload(workload_name, scale)
     start = time.perf_counter()
     with _collecting(collector):
         snapshots = _snapshots_for(golden_fp, checkpoint_interval, snapshots,
                                    config, workload, scheduler)
+        memo = None
+        if suffix_memo and snapshots is not None:
+            from repro.checkpoint import cached_memo
+            memo = cached_memo(("golden-fp", golden_fp, fault_model))
         results = []
         for key in plan_keys:
             plan = plan_from_key(tuple(key))
             result = resimulate_plan(config, workload, plan, outputs, cycles,
                                      scheduler, fault_model=fault_model,
-                                     snapshots=snapshots)
+                                     snapshots=snapshots, memo=memo)
             results.append([
                 *key, result.outcome.value, result.detail,
                 result.corrupted_words,

@@ -61,7 +61,8 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                fault_model: str,
                checkpoint_interval=None,
                inline: bool = True,
-               profile: bool = False) -> tuple[list[JobSpec], str]:
+               profile: bool = False,
+               suffix_memo: bool = False) -> tuple[list[JobSpec], str]:
     """Job chain for one cell; returns (root jobs, cell job id).
 
     ``inline`` — True when the campaign runs without a process pool.
@@ -127,6 +128,7 @@ def _cell_jobs(config: GpuConfig, workload_name: str, scale: str,
                     if checkpoint_interval is not None and inline else None,
                     checkpoint_interval,
                     profile,
+                    suffix_memo,
                 ),
             ))
 
@@ -337,7 +339,8 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             spec.fault_model,
             checkpoint_interval=checkpoint_interval,
             inline=workers <= 1,
-            profile=profile_on)
+            profile=profile_on,
+            suffix_memo=spec.resolved_suffix_memo())
         specs.extend(roots)
         cell_ids.append(cell_id)
     if not specs:
@@ -389,6 +392,9 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             scale=scale, samples=samples, seed=spec.seed,
             fault_model=spec.fault_model,
             structures=list(spec.resolved_structures()),
+            backend=",".join(sorted({g.backend
+                                     for g in spec.resolved_gpus()})),
+            suffix_memo=spec.resolved_suffix_memo(),
             cells=len(cell_ids), workers=workers,
             store=str(store.path) if store is not None and store.path
             else None)

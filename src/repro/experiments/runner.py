@@ -186,6 +186,23 @@ def _campaign_parent() -> argparse.ArgumentParser:
         help="disable golden-run snapshots: re-simulate every live fault "
              "from cycle zero (bit-identical, slower)",
     )
+    group.add_argument(
+        "--backend", choices=("vector", "python"), default=None,
+        help="interpreter backend for every chip: 'vector' (numpy "
+             "whole-warp fast path, the default) or 'python' (per-lane "
+             "reference); bit-identical results either way",
+    )
+    group.add_argument(
+        "--suffix-memo", action="store_true", default=None,
+        help="share classified quiescent states across the campaign's "
+             "injections (cross-sample suffix memoization; needs "
+             "checkpoints; on by default; bit-identical results)",
+    )
+    group.add_argument(
+        "--no-suffix-memo", action="store_true",
+        help="disable cross-sample suffix memoization (bit-identical, "
+             "slower)",
+    )
     return parent
 
 
@@ -443,6 +460,16 @@ def _checkpoint_interval(args):
     return "auto"
 
 
+def _suffix_memo_arg(args):
+    """The spec's ``suffix_memo`` value from the CLI flag pair."""
+    if getattr(args, "no_suffix_memo", False):
+        if getattr(args, "suffix_memo", None):
+            raise ConfigError(
+                "--suffix-memo and --no-suffix-memo are mutually exclusive")
+        return False
+    return getattr(args, "suffix_memo", None)
+
+
 def _spec_from_args(args) -> CampaignSpec:
     """The figure subcommands' CampaignSpec (None fields = defaults)."""
     return CampaignSpec(
@@ -456,6 +483,8 @@ def _spec_from_args(args) -> CampaignSpec:
         fault_model=args.fault_model or "transient",
         checkpoint_interval=_checkpoint_interval(args),
         shard_size=args.shard_size,
+        backend=getattr(args, "backend", None),
+        suffix_memo=_suffix_memo_arg(args),
     )
 
 
@@ -579,7 +608,7 @@ def _scalar_value(key: str, text: str):
         if low in ("false", "off", "0", "no", "none"):
             return False
         return text  # a JSONL path
-    if key == "profile":
+    if key in ("profile", "suffix_memo"):
         low = text.lower()
         if low in ("true", "on", "1", "yes"):
             return True

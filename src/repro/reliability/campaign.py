@@ -162,6 +162,7 @@ def run_cell(spec=None, workload: str | None = None, *args,
     campaign = run_fi_campaign(
         config, workload, golden, samples=samples, seed=spec.seed,
         structures=structures, workers=workers, fault_model=model_name,
+        suffix_memo=spec.resolved_suffix_memo(),
     )
     fi_time = time.perf_counter() - start
 

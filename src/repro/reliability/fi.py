@@ -159,12 +159,32 @@ class CampaignOutput:
 
     estimates: dict            # structure -> AvfEstimate
     results: list = field(default_factory=list)  # list[FaultResult]
+    #: Suffix-memo counters (hits/misses/collisions/entries) when the
+    #: campaign ran memoized in-process; None otherwise (memo off, or
+    #: pooled workers owning their own per-process tables).
+    memo: dict | None = None
+
+
+def _memo_commit(memo, result: FaultResult) -> FaultResult:
+    """Memoize a finished run's digest trail under its outcome."""
+    if memo is not None:
+        from repro.checkpoint import MemoRecord
+        memo.misses += 1
+        _profile.count("memo_misses")
+        memo.commit(MemoRecord(
+            outcome=result.outcome.value,
+            detail=result.detail,
+            corrupted_words=result.corrupted_words,
+            cycles=result.cycles,
+            early_exit=result.early_exit,
+        ))
+    return result
 
 
 def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
                     golden_outputs: dict, golden_cycles: int,
                     scheduler: str, fault_model=None,
-                    snapshots=None) -> FaultResult:
+                    snapshots=None, memo=None) -> FaultResult:
     """Faulty run for one live fault site.
 
     The single deterministic re-simulation primitive shared by the
@@ -176,25 +196,50 @@ def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
     golden run) switches to suffix-only simulation with the early-exit
     convergence check; the classification and the recorded cycle count
     are bit-identical to the full re-simulation either way.
+
+    ``memo`` (a :class:`repro.checkpoint.SuffixMemo`; needs
+    ``snapshots``) adds cross-sample memoization: runs quiescing to a
+    state some earlier run of the campaign already classified reuse
+    that outcome instead of simulating the suffix — still bit-identical
+    (full dual-digest state equality implies identical evolution).
     """
     watchdog = default_watchdog_for(golden_cycles)
+    if snapshots is None:
+        memo = None
+    elif memo is not None:
+        memo.begin_run()
     try:
         if snapshots is not None:
             from repro.checkpoint import (
                 ConvergedToGolden,
+                MemoHit,
                 run_faulty_from_checkpoints,
             )
             try:
                 with _profile.phase("suffix_sim"):
                     result = run_faulty_from_checkpoints(
                         config, workload, plan, scheduler, watchdog,
-                        snapshots, fault_model=fault_model)
+                        snapshots, fault_model=fault_model, memo=memo)
             except ConvergedToGolden:
                 # Full-state digest matched golden: the rest of the run
                 # is provably the golden run — MASKED, golden cycles.
                 _profile.count("exit:masked_early")
-                return FaultResult(plan, Outcome.MASKED, True,
-                                   cycles=golden_cycles, early_exit=True)
+                return _memo_commit(memo, FaultResult(
+                    plan, Outcome.MASKED, True,
+                    cycles=golden_cycles, early_exit=True))
+            except MemoHit as hit:
+                # An earlier injection already classified this exact
+                # machine state: reuse its result, and memoize this
+                # run's own pre-hit trail under the same outcome.
+                _profile.count("memo_hits")
+                _profile.count(f"exit:memo:{hit.record.outcome}")
+                memo.commit(hit.record)
+                record = hit.record
+                return FaultResult(
+                    plan, Outcome(record.outcome), True,
+                    detail=record.detail,
+                    corrupted_words=record.corrupted_words,
+                    cycles=record.cycles, early_exit=record.early_exit)
         else:
             with _profile.phase("suffix_sim"):
                 gpu = Gpu(config, scheduler=scheduler)
@@ -203,23 +248,36 @@ def resimulate_plan(config: GpuConfig, workload: Workload, plan: FaultPlan,
                 result = run_workload(gpu, workload)
     except SimFault as fault:
         _profile.count(f"exit:due:{type(fault).__name__}")
-        return FaultResult(plan, Outcome.DUE, True, detail=type(fault).__name__)
+        return _memo_commit(memo, FaultResult(
+            plan, Outcome.DUE, True, detail=type(fault).__name__))
     outcome = classify_outputs(golden_outputs, result.outputs)
     corrupted = (
         count_corrupted_words(golden_outputs, result.outputs)
         if outcome is Outcome.SDC else 0
     )
     _profile.count("exit:sdc" if outcome is Outcome.SDC else "exit:masked_full")
-    return FaultResult(plan, outcome, True, corrupted_words=corrupted,
-                       cycles=result.cycles)
+    return _memo_commit(memo, FaultResult(
+        plan, outcome, True, corrupted_words=corrupted,
+        cycles=result.cycles))
 
 
 def _resimulate(config: GpuConfig, workload: Workload, plan: FaultPlan,
-                golden: GoldenRun, model_name: str) -> FaultResult:
+                golden: GoldenRun, model_name: str,
+                memo=None) -> FaultResult:
     return resimulate_plan(config, workload, plan, golden.outputs,
                            golden.cycles, golden.scheduler,
                            fault_model=model_name,
-                           snapshots=golden.snapshots)
+                           snapshots=golden.snapshots, memo=memo)
+
+
+def _capture_key(config, workload, scheduler: str, interval) -> tuple:
+    """Canonical capture identity for per-process caches."""
+    import dataclasses
+    import json
+    params = dataclasses.asdict(config)
+    params.pop("backend", None)  # execution resource, not identity
+    return (json.dumps(params, sort_keys=True),
+            workload.name, workload.scale, scheduler, interval)
 
 
 def _worker_snapshots(config, workload, scheduler: str, interval):
@@ -233,13 +291,24 @@ def _worker_snapshots(config, workload, scheduler: str, interval):
     """
     if interval is None:
         return None
-    import dataclasses
-    import json
     from repro.checkpoint import cached_snapshots
-    key = ("capture-params",
-           json.dumps(dataclasses.asdict(config), sort_keys=True),
-           workload.name, workload.scale, scheduler, interval)
+    key = ("capture-params",) + _capture_key(config, workload, scheduler,
+                                             interval)
     return cached_snapshots(key, config, workload, scheduler, interval)
+
+
+def _worker_memo(config, workload, scheduler: str, interval,
+                 model_name: str):
+    """Per-process suffix-memo table for the pooled serial path.
+
+    The fault model joins the key (different disturbance semantics
+    never share a table); each worker process accumulates and profits
+    from its own table across all the faults it simulates.
+    """
+    from repro.checkpoint import cached_memo
+    key = ("memo-params", model_name) + _capture_key(
+        config, workload, scheduler, interval)
+    return cached_memo(key)
 
 
 def _resim_worker(args) -> tuple:
@@ -249,35 +318,44 @@ def _resim_worker(args) -> tuple:
     from the registry by (name, scale) — deterministic by construction.
     Likewise snapshot sets: shipping one per fault would out-cost the
     suffix savings, so the golden's checkpoint interval travels
-    instead and each worker captures the set once.
+    instead and each worker captures the set once. The suffix memo is
+    per-process for the same reason.
     """
     (config, workload_name, scale, scheduler, golden_outputs,
-     golden_cycles, plan, model_name, checkpoint_interval) = args
+     golden_cycles, plan, model_name, checkpoint_interval,
+     suffix_memo) = args
     from repro.kernels.registry import get_workload
     workload = get_workload(workload_name, scale)
     snapshots = _worker_snapshots(config, workload, scheduler,
                                   checkpoint_interval)
+    memo = None
+    if suffix_memo and snapshots is not None:
+        memo = _worker_memo(config, workload, scheduler,
+                            checkpoint_interval, model_name)
     result = resimulate_plan(config, workload, plan, golden_outputs,
                              golden_cycles, scheduler,
                              fault_model=model_name,
-                             snapshots=snapshots)
+                             snapshots=snapshots, memo=memo)
     return (plan, result.outcome.value, result.detail,
             result.corrupted_words, result.cycles)
 
 
 def _resimulate_batch(config: GpuConfig, workload: Workload,
                       plans: list, golden: GoldenRun,
-                      workers: int, model_name: str) -> dict:
+                      workers: int, model_name: str,
+                      memo=None) -> dict:
     """Re-simulate live faults, optionally across processes.
 
     Returns plan -> FaultResult. Results are independent of ``workers``
     — when the golden run carries snapshots, pooled workers re-derive
     the identical set once per process (pickling it per fault would
     out-cost the suffix savings), and scratch and suffix runs classify
-    identically anyway.
+    identically anyway. ``memo`` is the in-process suffix-memo table;
+    pooled workers derive their own per-process tables instead.
     """
     if workers <= 1 or len(plans) < 2:
-        return {plan: _resimulate(config, workload, plan, golden, model_name)
+        return {plan: _resimulate(config, workload, plan, golden,
+                                  model_name, memo=memo)
                 for plan in plans}
     from repro.errors import ConfigError
     from repro.kernels.registry import KERNEL_NAMES
@@ -291,7 +369,8 @@ def _resimulate_batch(config: GpuConfig, workload: Workload,
         else None
     jobs = [
         (config, workload.name, workload.scale, golden.scheduler,
-         golden.outputs, golden.cycles, plan, model_name, interval)
+         golden.outputs, golden.cycles, plan, model_name, interval,
+         memo is not None)
         for plan in plans
     ]
     results: dict = {}
@@ -310,7 +389,8 @@ def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
                     structures: tuple = DATAPATH_STRUCTURES,
                     keep_results: bool = False,
                     workers: int = 1,
-                    fault_model=None) -> CampaignOutput:
+                    fault_model=None,
+                    suffix_memo: bool = True) -> CampaignOutput:
     """Run the statistical FI campaign for the given structures.
 
     ``workers > 1`` fans the fault re-simulations out over a process
@@ -319,6 +399,11 @@ def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
     ``fault_model`` (name or :class:`~repro.faultmodels.FaultModel`)
     selects sampling/application/liveness semantics; the default
     transient model reproduces the paper's campaign bit for bit.
+
+    ``suffix_memo`` (default on; needs a checkpointed golden run to
+    take effect) shares classified quiescent states across the
+    campaign's injections (:mod:`repro.checkpoint.memo`) — outcomes
+    stay bit-identical, repeated suffixes are skipped.
     """
     model = get_fault_model(fault_model)
     rng = np.random.default_rng(seed)
@@ -338,13 +423,19 @@ def run_fi_campaign(config: GpuConfig, workload: Workload, golden: GoldenRun,
         key=lambda p: (p.structure, p.core, p.word, p.bit, p.cycle,
                        p.width, p.stuck_value),
     )
+    memo = None
+    if suffix_memo and golden.snapshots is not None:
+        from repro.checkpoint import SuffixMemo
+        memo = SuffixMemo()
     resim_start = time.perf_counter()
     resim_results = _resimulate_batch(config, workload, live_plans, golden,
-                                      workers, model.name)
+                                      workers, model.name, memo=memo)
     resim_time = time.perf_counter() - resim_start
     total_live = max(1, len(live_plans))
 
     output = CampaignOutput(estimates={})
+    if memo is not None and (workers <= 1 or len(live_plans) < 2):
+        output.memo = memo.stats()
     for structure, plans in plans_by_structure.items():
         masked = sdc = due = pruned = resims = 0
         results: list[FaultResult] = []

@@ -48,10 +48,14 @@ class CoreBase:
         self.gmem = gmem
         self.scheduler = scheduler
         self.sink = sink
+        #: True under the vector fast path (``config.backend``); the
+        #: pure-python reference path stays bit-identical by contract.
+        self.vector = config.backend == "vector"
         self.regfile = RegisterFile(
             core_id, config.registers_per_core, config.warp_size, sink
         )
-        self.lmem = LocalMemory(core_id, config.local_memory_bytes, sink)
+        self.lmem = LocalMemory(core_id, config.local_memory_bytes, sink,
+                                backend=config.backend)
         # Control-structure banks (SIMT stack, predicate file, scheduler
         # state): (word, bit)-addressable fault targets over the live
         # warp state. ``_control_dirty`` flags installed stuck-at
@@ -83,6 +87,18 @@ class CoreBase:
         self.blocks_retired = 0
         self.instructions_issued = 0
         self._warp_counter = 0
+        # Prebuilt latency-class table (the python path builds the dict
+        # per call; the table is the same mapping, hoisted out).
+        table = config.latency
+        self._latency_table = {
+            "alu": table.alu,
+            "mul": table.mul,
+            "sfu": table.sfu,
+            "shared": table.shared,
+            "global": table.global_mem,
+            "branch": table.branch,
+            "barrier": table.barrier,
+        }
 
     def next_warp_id(self) -> int:
         """Core-unique, monotonically increasing warp slot id."""
@@ -373,6 +389,8 @@ class CoreBase:
         retired_before = self.blocks_retired
         limit = None
         self.resume_at = None
+        if self.vector:
+            return self._run_until_retire_fast(quantum, retired_before)
         while self.blocks:
             candidates = [
                 warp for warp in self.warps
@@ -401,6 +419,48 @@ class CoreBase:
                 if max(warp.ready_cycle, self.issue_free) == t_best
             ]
             warp = self.scheduler.pick(ties, self.last_issued)
+            self._issue(warp, t_best)
+            if self.blocks_retired != retired_before:
+                return True
+        return False
+
+    def _run_until_retire_fast(self, quantum: int | None,
+                               retired_before: int) -> bool:
+        """Vector-backend issue loop: one fused candidate scan per issue.
+
+        Identical decisions to the reference loop above — same
+        candidate set, same ``t_best``, same tie list in the same warp
+        order — computed in a single pass instead of three
+        comprehensions over ``self.warps``.
+        """
+        limit = None
+        while self.blocks:
+            t_best = None
+            ties = None
+            issue_free = self.issue_free
+            for warp in self.warps:
+                if warp.done or warp.at_barrier:
+                    continue
+                t = warp.ready_cycle
+                if t < issue_free:
+                    t = issue_free
+                if t_best is None or t < t_best:
+                    t_best = t
+                    ties = [warp]
+                elif t == t_best:
+                    ties.append(warp)
+            if t_best is None:
+                raise BarrierDeadlock(
+                    f"core {self.core_id}: all warps blocked at barrier"
+                )
+            if quantum is not None:
+                if limit is None:
+                    limit = (t_best // quantum + 1) * quantum
+                elif t_best >= limit:
+                    self.resume_at = t_best
+                    return False
+            warp = ties[0] if len(ties) == 1 else self.scheduler.pick(
+                ties, self.last_issued)
             self._issue(warp, t_best)
             if self.blocks_retired != retired_before:
                 return True

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError, MemoryFault
+from repro.sim.vector import scatter_add_serialized
 
 #: First valid address; [0, _BASE) traps null/near-null dereferences.
 _BASE = 0x1000
@@ -44,13 +45,31 @@ class Buffer:
 class GlobalMemory:
     """Flat device memory with buffer-granular bounds checking."""
 
-    def __init__(self, capacity_bytes: int = 1 << 24):
+    def __init__(self, capacity_bytes: int = 1 << 24, backend: str = "python"):
         if capacity_bytes % 4:
             raise ConfigError("capacity must be a word multiple")
         self.capacity = capacity_bytes
-        self._words = np.zeros(capacity_bytes // 4, dtype=np.uint32)
+        # Lazily zeroed: words are observable only inside allocated
+        # buffers (every device access is bounds-checked) or in the
+        # snapshot prefix [0, _next), and alloc() zeroes each claimed
+        # region — so the tail never needs the O(capacity) memset a
+        # np.zeros would pay up front (3ms per machine at 16 MiB,
+        # which used to dominate checkpoint-restore cost).
+        self._words = np.empty(capacity_bytes // 4, dtype=np.uint32)
+        self._words[:_BASE // 4] = 0
         self._next = _BASE
         self.buffers: dict[str, Buffer] = {}
+        self._vector = backend == "vector"
+        # Sorted buffer extents for the vector backend's searchsorted
+        # bounds check (bump allocation keeps bases ascending already;
+        # sorting makes that explicit and restore-proof).
+        self._bases = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+
+    def _refresh_ranges(self) -> None:
+        spans = sorted((b.base, b.end) for b in self.buffers.values())
+        self._bases = np.array([s[0] for s in spans], dtype=np.int64)
+        self._ends = np.array([s[1] for s in spans], dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Allocation and host-side access
@@ -67,6 +86,11 @@ class GlobalMemory:
         buffer = Buffer(name, base, nbytes)
         self.buffers[name] = buffer
         self._next = (base + nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        # Zero the claimed region including the alignment padding up to
+        # the new bump pointer: the buffer contract is zero-initialised
+        # storage, and the padding lands inside the snapshot prefix.
+        self._words[base // 4:min(self._next, self.capacity) // 4] = 0
+        self._refresh_ranges()
         return buffer
 
     def alloc_from(self, name: str, data: np.ndarray) -> Buffer:
@@ -103,9 +127,17 @@ class GlobalMemory:
         if np.any(addresses & 3):
             bad = int(addresses[np.argmax((addresses & 3) != 0)])
             raise MemoryFault(bad, f"misaligned {kind}")
-        valid = np.zeros(addresses.shape, dtype=bool)
-        for buffer in self.buffers.values():
-            valid |= (addresses >= buffer.base) & (addresses < buffer.end)
+        if self._vector and self._bases.size:
+            # searchsorted(right) - 1 = index of the last buffer whose
+            # base <= address; the address is valid iff it also falls
+            # before that buffer's end (buffers never overlap).
+            idx = np.searchsorted(self._bases, addresses, side="right") - 1
+            inside = idx >= 0
+            valid = inside & (addresses < self._ends[np.where(inside, idx, 0)])
+        else:
+            valid = np.zeros(addresses.shape, dtype=bool)
+            for buffer in self.buffers.values():
+                valid |= (addresses >= buffer.base) & (addresses < buffer.end)
         if not valid.all():
             bad = int(addresses[np.argmin(valid)])
             raise MemoryFault(bad, kind)
@@ -131,6 +163,8 @@ class GlobalMemory:
         addresses = np.asarray(addresses, dtype=np.int64)
         self._check(addresses, "atomic")
         index = addresses >> 2
+        if self._vector:
+            return scatter_add_serialized(self._words, index, values)
         old = np.empty(addresses.size, dtype=np.uint32)
         # Serialise in lane order for a deterministic old-value per lane.
         for lane in range(addresses.size):
@@ -174,12 +208,12 @@ class GlobalMemory:
         if words.size > self._words.size:
             raise ConfigError("snapshot larger than this memory's capacity")
         self._words[:words.size] = words
-        self._words[words.size:] = 0
         self._next = state["next"]
         self.buffers = {
             name: Buffer(name, base, nbytes)
             for name, base, nbytes in state["buffers"]
         }
+        self._refresh_ranges()
 
 
 def _as_words(data: np.ndarray) -> np.ndarray:

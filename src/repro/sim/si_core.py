@@ -17,6 +17,9 @@ from repro.isa.base import EXEC, Imm, Param, SCC, SReg, SRegPair, SpecialScalar,
 from repro.isa.si import semantics
 from repro.isa.si.opcodes import SI_OPCODES
 from repro.sim.core import CoreBase
+from repro.sim.vector import bools_to_mask as _v_bools_to_mask
+from repro.sim.vector import const_u32
+from repro.sim.vector import mask_to_bools as _v_mask_to_bools
 from repro.sim.warp import BlockState, SiWavefront
 from repro.telemetry import profile as _profile
 
@@ -28,11 +31,23 @@ class SiCore(CoreBase):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
+        #: vector backend: per-pc (inst, opcode-info, latency) decode
+        #: cache, built once per launch instead of per issue.
+        self._decoded: list = []
         self._wave: SiWavefront | None = None
         self.eff_bool: np.ndarray | None = None
         self.eff_mask: int = 0
         self._cycle: int = 0
         self.scc: bool = False  # mirrors the current wavefront during execute
+
+    def _prepare_program(self, program) -> None:
+        if self.vector:
+            self._decoded = []
+            for pc in range(len(program)):
+                inst = program.at(pc)
+                info = SI_OPCODES[inst.opcode]
+                self._decoded.append(
+                    (inst, info, self.latency_of(info.latency_class)))
 
     # ------------------------------------------------------------------
     # CoreBase hooks
@@ -85,6 +100,8 @@ class SiCore(CoreBase):
         return SiWavefront.from_state(state, block, self.config.warp_size)
 
     def _execute(self, wave: SiWavefront, t_issue: int) -> int:
+        if self.vector:
+            return self._execute_fast(wave, t_issue)
         program = self.program
         pc = wave.pc
         if not 0 <= pc < len(program):
@@ -136,10 +153,57 @@ class SiCore(CoreBase):
             wave.pc = pc + 1
         return latency + effect.extra_cycles
 
+    def _execute_fast(self, wave: SiWavefront, t_issue: int) -> int:
+        """Vector-backend twin of :meth:`_execute` (bit-identical).
+
+        Decode, opcode lookup and latency come from the per-launch
+        cache; SIMT mask conversion goes through the shared cached
+        helpers instead of the per-bit loop.
+        """
+        pc = wave.pc
+        decoded = self._decoded
+        if not 0 <= pc < len(decoded):
+            raise IllegalInstruction(
+                f"pc {pc} outside program 0..{len(decoded) - 1}"
+            )
+        inst, info, latency = decoded[pc]
+
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.dispatch("si", info.latency_class,
+                          bool(info.memory_space))
+
+        self._wave = wave
+        self.scc = wave.scc
+        self.eff_mask = wave.exec_mask & wave.valid_mask
+        self.eff_bool = _v_mask_to_bools(self.eff_mask, self.config.warp_size)
+        self._cycle = t_issue
+
+        if not info.is_scalar and self.eff_mask == 0:
+            wave.pc = pc + 1
+            return latency
+
+        with np.errstate(all="ignore"):
+            effect = semantics.execute(self, inst)
+        wave.scc = self.scc
+
+        if effect.kind == "branch":
+            wave.pc = effect.target
+        elif effect.kind == "exit":
+            wave.finished = True
+        elif effect.kind == "barrier":
+            wave.pc = pc + 1
+            self._arrive_barrier(wave, t_issue)
+        else:
+            wave.pc = pc + 1
+        return latency + effect.extra_cycles
+
     # ------------------------------------------------------------------
     # Mask helpers
     # ------------------------------------------------------------------
     def _mask_to_bools_width(self, mask: int) -> np.ndarray:
+        if self.vector:
+            return _v_mask_to_bools(mask, self.config.warp_size)
         out = np.zeros(self.config.warp_size, dtype=bool)
         lane = 0
         while mask:
@@ -153,6 +217,8 @@ class SiCore(CoreBase):
         return self._mask_to_bools_width(mask)
 
     def bools_to_mask(self, bools: np.ndarray) -> int:
+        if self.vector:
+            return _v_bools_to_mask(bools)
         mask = 0
         for lane in np.flatnonzero(bools):
             mask |= 1 << int(lane)
@@ -182,12 +248,14 @@ class SiCore(CoreBase):
                 self.config.warp_size, self._wave.sgprs[op.index], dtype=np.uint32
             )
         if isinstance(op, Imm):
+            if self.vector:
+                return const_u32(self.config.warp_size, op.value)
             return np.full(self.config.warp_size, op.value, dtype=np.uint32)
         if isinstance(op, Param):
-            return np.full(
-                self.config.warp_size, self.launch.param_word(op.index),
-                dtype=np.uint32,
-            )
+            word = self.launch.param_word(op.index)
+            if self.vector:
+                return const_u32(self.config.warp_size, word)
+            return np.full(self.config.warp_size, word, dtype=np.uint32)
         raise IllegalInstruction(f"cannot read vector source {op!r}")
 
     def read_scalar32(self, op) -> int:

@@ -129,6 +129,17 @@ class CampaignSpec:
     #: guarantee as ``telemetry``: never part of any job fingerprint,
     #: result stores bit-identical with it on or off.
     profile: bool | None = None
+    #: Interpreter implementation for every resolved chip: "vector"
+    #: (numpy whole-warp fast path) or "python" (per-lane reference).
+    #: None = each chip's own default (vector). An execution resource:
+    #: results are bit-identical either way (CI's ``fastpath-parity``
+    #: job diffs the stores) and it joins no job fingerprint.
+    backend: str | None = None
+    #: Cross-sample suffix memoization (:mod:`repro.checkpoint.memo`):
+    #: None = on (the default), False = off. Takes effect only with
+    #: checkpointing enabled; derived state like checkpoints — results
+    #: bit-identical on or off, never part of any job fingerprint.
+    suffix_memo: bool | None = None
     #: Optional human-readable label (spec files, sweep tables). Not
     #: part of any job fingerprint.
     name: str | None = None
@@ -227,6 +238,17 @@ class CampaignSpec:
             raise _field_error(
                 "profile",
                 f"expected true/false, got {self.profile!r}")
+        if self.backend is not None and self.backend not in (
+                "vector", "python"):
+            raise _field_error(
+                "backend",
+                f"unknown backend {self.backend!r} "
+                f"(use 'vector' or 'python')")
+        if self.suffix_memo is not None and not isinstance(
+                self.suffix_memo, bool):
+            raise _field_error(
+                "suffix_memo",
+                f"expected true/false, got {self.suffix_memo!r}")
         if self.name is not None and not isinstance(self.name, str):
             raise _field_error(
                 "name", f"expected a string, got {self.name!r}")
@@ -236,11 +258,21 @@ class CampaignSpec:
     # ------------------------------------------------------------------
 
     def resolved_gpus(self) -> list[GpuConfig]:
-        """Chip configs: names through the scaled presets, configs as-is."""
+        """Chip configs: names through the scaled presets, configs as-is.
+
+        A spec-level ``backend`` overrides every resolved chip's
+        interpreter backend (fingerprint-transparent, so this never
+        invalidates stored jobs).
+        """
         if self.gpus is None:
-            return list_scaled_gpus()
-        return [get_scaled_gpu(gpu) if isinstance(gpu, str) else gpu
-                for gpu in self.gpus]
+            gpus = list_scaled_gpus()
+        else:
+            gpus = [get_scaled_gpu(gpu) if isinstance(gpu, str) else gpu
+                    for gpu in self.gpus]
+        if self.backend is not None:
+            gpus = [dataclasses.replace(gpu, backend=self.backend)
+                    for gpu in gpus]
+        return gpus
 
     def resolved_workloads(self) -> list[str]:
         return list(self.workloads) if self.workloads is not None \
@@ -255,6 +287,9 @@ class CampaignSpec:
     def resolved_structures(self) -> tuple:
         return self.structures if self.structures is not None \
             else DATAPATH_STRUCTURES
+
+    def resolved_suffix_memo(self) -> bool:
+        return True if self.suffix_memo is None else self.suffix_memo
 
     def resolved_shard_size(self) -> int:
         if self.shard_size is not None:

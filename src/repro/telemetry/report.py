@@ -107,7 +107,8 @@ def _format_dispatch_table(profile: dict, indent: str = "  ") -> list:
 def _format_counters(profile: dict, indent: str = "  ") -> list:
     counters = profile.get("counters", {})
     ordered = [k for k in ("warp_issues", "memory_ops", "checkpoint_hit",
-                           "checkpoint_miss", "digest_checks")
+                           "checkpoint_miss", "digest_checks",
+                           "memo_hits", "memo_misses", "memo_collisions")
                if k in counters]
     ordered += sorted(k for k in counters if k not in ordered)
     if not ordered:

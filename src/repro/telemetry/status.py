@@ -53,6 +53,16 @@ class CampaignStatus:
     fi_time_s: float = 0.0
     max_queue_depth: int = 0
     sweep_campaigns: int = 0
+    #: fast-path configuration from campaign_begin (None on streams
+    #: recorded before these fields existed — render as unknown, never
+    #: crash on their absence).
+    backend: str | None = None
+    suffix_memo: bool | None = None
+    #: suffix-memo counters folded from profile events (all zero when
+    #: the campaign was not profiled or predates the memo).
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_collisions: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -99,6 +109,13 @@ class CampaignStatus:
 def aggregate_events(events: list[dict]) -> CampaignStatus:
     """Fold a telemetry event stream into one :class:`CampaignStatus`."""
     status = CampaignStatus()
+    # Memo counters: prefer the driver's campaign_profile summaries
+    # (authoritative totals), fall back to summing cell_profile events
+    # when a run was interrupted before the summary was written.
+    memo_keys = ("memo_hits", "memo_misses", "memo_collisions")
+    cell_memo = dict.fromkeys(memo_keys, 0)
+    campaign_memo = dict.fromkeys(memo_keys, 0)
+    saw_campaign_profile = False
     for event in events:
         status.events += 1
         ts = event.get("ts")
@@ -118,6 +135,12 @@ def aggregate_events(events: list[dict]) -> CampaignStatus:
             status.spec = event.get("spec") or status.spec
             status.workers = max(status.workers, int(event.get("workers", 1)))
             status.cells_total += int(event.get("cells", 0))
+            backend = event.get("backend")
+            if isinstance(backend, str) and backend:
+                status.backend = backend
+            suffix_memo = event.get("suffix_memo")
+            if isinstance(suffix_memo, bool):
+                status.suffix_memo = suffix_memo
         elif etype == "campaign_end":
             status.campaigns_ended += 1
         elif etype == "sweep_begin":
@@ -145,6 +168,23 @@ def aggregate_events(events: list[dict]) -> CampaignStatus:
             status.injections += int(event.get("injections", 0))
             status.resimulated += int(event.get("resimulated", 0))
             status.fi_time_s += float(event.get("fi_time_s", 0.0))
+        elif etype in ("cell_profile", "campaign_profile"):
+            profile = event.get("profile")
+            counters = (profile.get("counters")
+                        if isinstance(profile, dict) else None)
+            sink = cell_memo
+            if etype == "campaign_profile":
+                saw_campaign_profile = True
+                sink = campaign_memo
+            if isinstance(counters, dict):
+                for key in memo_keys:
+                    value = counters.get(key, 0)
+                    if isinstance(value, (int, float)):
+                        sink[key] += int(value)
+    chosen = campaign_memo if saw_campaign_profile else cell_memo
+    status.memo_hits = chosen["memo_hits"]
+    status.memo_misses = chosen["memo_misses"]
+    status.memo_collisions = chosen["memo_collisions"]
     return status
 
 
@@ -255,6 +295,19 @@ def format_status(store_path, store_counts: dict, status: CampaignStatus,
                   f"({status.resimulated} of {status.injections} "
                   f"injections re-simulated)")
     lines.append(cells)
+
+    if status.backend is not None or status.suffix_memo is not None:
+        memo_state = ("n/a" if status.suffix_memo is None
+                      else "on" if status.suffix_memo else "off")
+        fast = (f"fast path: backend={status.backend or 'n/a'}, "
+                f"suffix memo {memo_state}")
+        probes = status.memo_hits + status.memo_misses
+        if probes:
+            fast += (f" — {status.memo_hits}/{probes} memo hits "
+                     f"({_rate(status.memo_hits, probes)})")
+            if status.memo_collisions:
+                fast += f", {status.memo_collisions} digest collisions"
+        lines.append(fast)
     if status.in_progress:
         eta = status.eta_s
         lines.append(f"ETA: ~{_duration(eta)} at the current cell rate"

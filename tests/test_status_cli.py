@@ -275,3 +275,74 @@ class TestConsolidatedCli:
             with pytest.raises(SystemExit) as excinfo:
                 main([command, "--help"])
             assert excinfo.value.code == 0
+
+
+class TestFastPathSurfacing:
+    """backend / suffix-memo info in the status panel, tolerant of
+    telemetry streams recorded before those fields existed."""
+
+    def test_pre_fastpath_fixture_tolerated(self):
+        # The checked-in fixture predates backend/suffix_memo: the
+        # aggregator must leave them unknown and the panel must render
+        # without a fast-path line (and without crashing).
+        status = aggregate_events(load_telemetry(TELEMETRY))
+        assert status.backend is None
+        assert status.suffix_memo is None
+        assert status.memo_hits == 0 and status.memo_misses == 0
+        panel = format_status("store.jsonl", {}, status)
+        assert "fast path" not in panel
+
+    def _events_with_fastpath(self):
+        events = load_telemetry(TELEMETRY)
+        for event in events:
+            if event["event"] == "campaign_begin":
+                event["backend"] = "vector"
+                event["suffix_memo"] = True
+        return events
+
+    def test_backend_and_memo_flag_rendered(self):
+        status = aggregate_events(self._events_with_fastpath())
+        assert status.backend == "vector"
+        assert status.suffix_memo is True
+        panel = format_status("store.jsonl", {}, status)
+        assert "fast path: backend=vector, suffix memo on" in panel
+
+    def test_memo_counters_from_cell_profiles(self):
+        events = self._events_with_fastpath()
+        ts = events[-1]["ts"]
+        events.append({"event": "cell_profile", "ts": ts,
+                       "profile": {"counters": {"memo_hits": 3,
+                                                "memo_misses": 1}}})
+        status = aggregate_events(events)
+        assert status.memo_hits == 3 and status.memo_misses == 1
+        panel = format_status("store.jsonl", {}, status)
+        assert "3/4 memo hits (75%)" in panel
+
+    def test_campaign_profile_totals_preferred(self):
+        # The driver's campaign_profile summary already sums the
+        # cells; counting both would double every hit.
+        events = self._events_with_fastpath()
+        ts = events[-1]["ts"]
+        events.append({"event": "cell_profile", "ts": ts,
+                       "profile": {"counters": {"memo_hits": 3,
+                                                "memo_misses": 1}}})
+        events.append({"event": "campaign_profile", "ts": ts,
+                       "profile": {"counters": {"memo_hits": 3,
+                                                "memo_misses": 1,
+                                                "memo_collisions": 1}}})
+        status = aggregate_events(events)
+        assert status.memo_hits == 3 and status.memo_misses == 1
+        assert status.memo_collisions == 1
+        assert "1 digest collisions" in format_status(
+            "store.jsonl", {}, status)
+
+    def test_malformed_profile_events_tolerated(self):
+        events = self._events_with_fastpath()
+        ts = events[-1]["ts"]
+        events.append({"event": "cell_profile", "ts": ts})
+        events.append({"event": "cell_profile", "ts": ts,
+                       "profile": "not-a-dict"})
+        events.append({"event": "cell_profile", "ts": ts,
+                       "profile": {"counters": {"memo_hits": "bogus"}}})
+        status = aggregate_events(events)
+        assert status.memo_hits == 0
