@@ -17,6 +17,11 @@ shapes are understood, keyed by ``extra_info``:
   ``min_speedup`` (3x on the smoke matrix). The memo hit rate and
   backend recorded alongside are printed as trend datapoints only.
 
+Fleet keys (``dist_wall_s`` / ``dist_inj_per_s`` from the
+campaign-service benchmark) are printed as trend datapoints but never
+gated — at smoke scale the coordinator's HTTP round-trips dominate,
+so a floor would gate the wire protocol, not the engine.
+
 Profiling keys (``profile_disabled_s`` / ``profile_enabled_s`` /
 ``profile_phases``) are printed as trend datapoints but never gated —
 the profiling layer is observability-only and its overhead budget is
@@ -81,6 +86,19 @@ def check(path: Path, min_speedup: float) -> int:
             slow, fast = info["baseline_s"], info["accelerated_s"]
             floor = info.get("min_speedup", min_speedup)
             label = f"baseline {slow:.2f}s  accelerated"
+        elif "dist_inj_per_s" in info:
+            # Campaign-service fleet throughput: trend datapoints only
+            # (at smoke scale the HTTP round-trips dominate, so a gate
+            # here would measure framing overhead, not the engine).
+            walls = info.get("dist_wall_s", {})
+            split = "  ".join(
+                f"workers={count} {walls.get(count, float('nan')):.1f}s "
+                f"({rate:.1f} inj/s)"
+                for count, rate in sorted(
+                    info["dist_inj_per_s"].items(),
+                    key=lambda item: int(item[0])))
+            print(f"{name}: fleet {split}  [trend only]")
+            continue
         else:
             # Not a speedup bench; report the mean and move on.
             mean = bench.get("stats", {}).get("mean", float("nan"))

@@ -16,11 +16,19 @@ stores record by record under exactly that contract:
   scale, scheduler, samples, seed, fault_model) — and compared on
   every non-time field.
 
+By default the stores must also *append* their shared non-cell records
+in the same relative order — the right check for twins produced by
+deterministic (serial/inline) runs. ``--ignore-order`` compares purely
+as canonical fingerprint-keyed sets: concurrent twins (process pools,
+the campaign service's lease scheduling) complete jobs in racy order,
+which is execution scheduling, not results.
+
 Exit status 0 means the stores agree; 1 lists the differences.
 
 Usage::
 
     python scripts/diff_stores.py ckpt-on.jsonl ckpt-off.jsonl
+    python scripts/diff_stores.py --ignore-order pool.jsonl dist.jsonl
 """
 
 from __future__ import annotations
@@ -47,16 +55,22 @@ def strip_times(value):
 
 
 def load(path: Path) -> dict:
-    """fingerprint -> record, skipping torn trailing lines."""
+    """fingerprint -> record in append order, skipping torn lines.
+
+    Byte-mode per-line decode, so a final line torn inside a
+    multi-byte UTF-8 sequence is skipped like any other torn line
+    (the store's own load tolerance). Insertion order of the dict is
+    the append order, which the default (ordered) comparison uses.
+    """
     records = {}
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for line in path.read_bytes().split(b"\n"):
         line = line.strip()
         if not line:
             continue
         try:
-            record = json.loads(line)
+            record = json.loads(line.decode("utf-8"))
             records[record["fp"]] = record
-        except (json.JSONDecodeError, KeyError):
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError):
             continue
     return records
 
@@ -67,9 +81,23 @@ def cell_key(payload: dict) -> tuple:
             payload.get("fault_model", "transient"))
 
 
-def diff(left_path: Path, right_path: Path) -> int:
+def diff(left_path: Path, right_path: Path, *,
+         ignore_order: bool = False) -> int:
     left, right = load(left_path), load(right_path)
     problems = []
+
+    if not ignore_order:
+        shared = set(left) & set(right)
+        left_seq = [fp for fp in left if fp in shared]
+        right_seq = [fp for fp in right if fp in shared]
+        if left_seq != right_seq:
+            first = next(i for i, (a, b)
+                         in enumerate(zip(left_seq, right_seq)) if a != b)
+            problems.append(
+                f"append order differs at shared record {first} "
+                f"({left_seq[first][:12]}… vs {right_seq[first][:12]}…); "
+                f"concurrent runs may legitimately reorder — "
+                f"use --ignore-order to compare as keyed sets")
 
     def split(records):
         sim = {fp: r for fp, r in records.items() if r["kind"] != "cell"}
@@ -105,7 +133,8 @@ def diff(left_path: Path, right_path: Path) -> int:
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(f"stores agree ({counts}; wall-time fields ignored)")
+    mode = "append order ignored" if ignore_order else "append order checked"
+    print(f"stores agree ({counts}; wall-time fields ignored, {mode})")
     return 0
 
 
@@ -113,8 +142,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("left", type=Path, help="first JSONL store")
     parser.add_argument("right", type=Path, help="second JSONL store")
+    parser.add_argument(
+        "--ignore-order", action="store_true",
+        help="compare as canonical fingerprint-keyed sets, ignoring "
+             "append order (for concurrent twins: process pools and "
+             "the campaign service reorder completions)")
     args = parser.parse_args(argv)
-    return diff(args.left, args.right)
+    return diff(args.left, args.right, ignore_order=args.ignore_order)
 
 
 if __name__ == "__main__":

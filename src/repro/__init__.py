@@ -50,7 +50,12 @@ from repro.checkpoint import (
 )
 from repro.engine import (
     CampaignResult,
+    CampaignService,
     CampaignStats,
+    CampaignWorker,
+    CoordinatorUnreachable,
+    ExecutionBackend,
+    RemoteBackend,
     ResultStore,
     run_campaign,
 )
@@ -170,6 +175,9 @@ __all__ = [
     # campaign engine
     "run_campaign", "CampaignResult", "CampaignStats", "ResultStore",
     "cell_fingerprints",
+    # distributed campaign service (coordinator / worker fleet)
+    "CampaignService", "CampaignWorker", "RemoteBackend",
+    "ExecutionBackend", "CoordinatorUnreachable",
     # engine telemetry (observability)
     "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
     "CallbackTelemetrySink", "TelemetryHub",

@@ -12,6 +12,8 @@ incremental — all bit-identical to the serial path.
 * :mod:`repro.engine.jobs` — job bodies and payload codecs
 * :mod:`repro.engine.scheduler` — dependency-aware pool scheduler
 * :mod:`repro.engine.matrix` — matrix campaigns (:func:`run_campaign`)
+* :mod:`repro.engine.service` — distributed campaigns (coordinator /
+  worker fleet over JSON-HTTP, bit-identical to the local pool)
 """
 
 from repro.engine.fingerprint import (
@@ -32,18 +34,36 @@ from repro.engine.matrix import (
 )
 from repro.engine.scheduler import (
     CampaignStats,
+    ExecutionBackend,
     JobScheduler,
     JobSpec,
+    ProcessPoolBackend,
     clear_memory_cache,
+)
+from repro.engine.service import (
+    CampaignService,
+    CampaignWorker,
+    CoordinatorClient,
+    CoordinatorServer,
+    CoordinatorUnreachable,
+    RemoteBackend,
 )
 from repro.engine.store import ResultStore
 
 __all__ = [
     "CampaignResult",
+    "CampaignService",
     "CampaignStats",
+    "CampaignWorker",
+    "CoordinatorClient",
+    "CoordinatorServer",
+    "CoordinatorUnreachable",
     "DEFAULT_SHARD_SIZE",
+    "ExecutionBackend",
     "JobScheduler",
     "JobSpec",
+    "ProcessPoolBackend",
+    "RemoteBackend",
     "ResultStore",
     "canonical_json",
     "cell_fingerprints",

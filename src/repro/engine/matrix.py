@@ -242,7 +242,7 @@ def cell_fingerprints(spec) -> dict:
 def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
                  workers: int = 1, progress=None,
                  stats: CampaignStats | None = None,
-                 telemetry=None, profile=None,
+                 telemetry=None, profile=None, execution=None,
                  **legacy) -> CampaignResult:
     """Run (or resume) an evaluation matrix on the job engine.
 
@@ -294,6 +294,13 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
     fingerprint, bit-identical stores on or off — and auto-enables a
     JSONL telemetry sink next to the store when no other telemetry
     destination is configured.
+
+    ``execution`` is an :class:`repro.engine.scheduler.ExecutionBackend`
+    that runs the campaign's pool-eligible jobs somewhere other than the
+    local process pool (the campaign service's ``RemoteBackend`` leases
+    them to registered workers). Caller-owned: the campaign never closes
+    it. Like telemetry, it joins no job fingerprint — stores are
+    bit-identical for any backend.
     """
     from repro.spec import coerce_spec
     # The kwarg era defaulted to the full-size presets here (the
@@ -338,7 +345,7 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             spec.ace_mode, spec.raw_fit_per_bit, shard_size, store,
             spec.fault_model,
             checkpoint_interval=checkpoint_interval,
-            inline=workers <= 1,
+            inline=workers <= 1 and execution is None,
             profile=profile_on,
             suffix_memo=spec.resolved_suffix_memo())
         specs.extend(roots)
@@ -400,7 +407,7 @@ def run_campaign(spec=None, *, store: ResultStore | str | Path | None = None,
             else None)
     try:
         resolved = JobScheduler(store=store, workers=workers,
-                                telemetry=hub).run(
+                                telemetry=hub, execution=execution).run(
             specs, on_complete=on_complete, stats=stats)
         if hub is not None and campaign_prof["data"] is not None:
             hub.record(

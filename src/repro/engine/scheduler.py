@@ -4,10 +4,13 @@ The scheduler drives an arbitrary DAG of :class:`JobSpec`\\ s:
 
 * jobs whose fingerprint is already in the persistent store (or the
   in-process golden cache) resolve instantly as *cached*;
-* pool jobs (a picklable ``worker`` + ``make_args``) run on a
-  ``ProcessPoolExecutor`` as soon as their dependencies resolve — with
-  ``workers <= 1`` everything runs inline in deterministic admission
-  order instead;
+* pool jobs (a picklable ``worker`` + ``make_args``) run on an
+  :class:`ExecutionBackend` as soon as their dependencies resolve —
+  the local :class:`ProcessPoolBackend` by default, or the campaign
+  service's ``RemoteBackend`` (:mod:`repro.engine.service`) leasing
+  them to a fleet of HTTP workers; with ``workers <= 1`` and no
+  backend everything runs inline in deterministic admission order
+  instead;
 * driver jobs (``reduce_fn``) run in the scheduling process the moment
   they are ready (they are cheap reductions);
 * a completed job may *expand* into further jobs (the FI shards and the
@@ -16,13 +19,19 @@ The scheduler drives an arbitrary DAG of :class:`JobSpec`\\ s:
 
 Payload equality is guaranteed by construction — every job body is a
 deterministic function of its fingerprinted parameters — so neither the
-worker count nor the completion order can change any result.
+worker count, the execution backend, nor the completion order can
+change any result.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -75,6 +84,43 @@ def _payload_work_s(payload, default: float) -> float:
         if isinstance(work, (int, float)):
             return float(work)
     return default
+
+
+class ExecutionBackend:
+    """Where the scheduler's pool-eligible jobs execute.
+
+    A backend receives each ready pool job (``worker`` + argument
+    tuple) and returns a :class:`concurrent.futures.Future` resolving
+    to the job's payload. The scheduler never cares *where* the body
+    runs — a local process pool (:class:`ProcessPoolBackend`) and the
+    campaign service's lease queue
+    (:class:`repro.engine.service.RemoteBackend`) are interchangeable
+    by the engine's determinism contract: every job body is a pure
+    function of its fingerprinted parameters.
+    """
+
+    def submit(self, job: "JobSpec", args: tuple) -> Future:
+        """Start one pool job; the Future resolves to its payload."""
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        """Periodic housekeeping between completions (lease expiry)."""
+
+    def close(self) -> None:
+        """Release backend resources (only called on owned backends)."""
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """The classic local backend: one ``ProcessPoolExecutor``."""
+
+    def __init__(self, workers: int):
+        self._pool = ProcessPoolExecutor(max_workers=max(1, int(workers)))
+
+    def submit(self, job: "JobSpec", args: tuple) -> Future:
+        return self._pool.submit(job.worker, args)
+
+    def close(self) -> None:
+        self._pool.shutdown()
 
 
 @dataclass
@@ -152,10 +198,13 @@ class JobScheduler:
     """
 
     def __init__(self, store: ResultStore | None = None, workers: int = 1,
-                 telemetry=None):
+                 telemetry=None, execution: ExecutionBackend | None = None):
         self.store = store
         self.workers = max(1, int(workers))
         self.telemetry = telemetry
+        #: caller-owned execution backend; None = inline or an owned
+        #: process pool, by ``workers``.
+        self.execution = execution
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[JobSpec], on_complete: Callable | None = None,
@@ -165,10 +214,16 @@ class JobScheduler:
                           stats if stats is not None else CampaignStats())
         for job in jobs:
             state.admit(job)
-        if self.workers <= 1:
+        if self.execution is not None:
+            state.run_backend(self.execution)
+        elif self.workers <= 1:
             state.run_inline()
         else:
-            state.run_pooled(self.workers)
+            backend = ProcessPoolBackend(self.workers)
+            try:
+                state.run_backend(backend)
+            finally:
+                backend.close()
         if state.pending:
             unmet = sorted(state.pending)
             raise RuntimeError(
@@ -278,43 +333,48 @@ class _RunState:
                 self.execute_inline(job)
                 progressed = True
 
-    def run_pooled(self, workers: int) -> None:
-        """Concurrent execution: pool jobs out-of-process, reductions
+    def run_backend(self, backend: ExecutionBackend) -> None:
+        """Concurrent execution: pool jobs on the backend, reductions
         and expansions in the driver as soon as they are ready."""
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures: dict = {}
+        futures: dict = {}
 
-            def submit_ready() -> None:
-                progressed = True
-                while progressed:
-                    progressed = False
-                    for job_id in list(self.pending):
-                        job = self.pending.get(job_id)
-                        if job is None or not self.ready(job):
-                            continue
-                        del self.pending[job_id]
-                        progressed = True
-                        if job.worker is None:
-                            self.execute_inline(job)
-                        else:
-                            args = job.make_args(self.dep_payloads(job))
-                            future = pool.submit(job.worker, args)
-                            self.running = len(futures) + 1
-                            self.emit("job_start", job)
-                            futures[future] = (job, time.perf_counter())
+        def submit_ready() -> None:
+            progressed = True
+            while progressed:
+                progressed = False
+                for job_id in list(self.pending):
+                    job = self.pending.get(job_id)
+                    if job is None or not self.ready(job):
+                        continue
+                    del self.pending[job_id]
+                    progressed = True
+                    if job.worker is None:
+                        self.execute_inline(job)
+                    else:
+                        args = job.make_args(self.dep_payloads(job))
+                        future = backend.submit(job, args)
+                        self.running = len(futures) + 1
+                        self.emit("job_start", job)
+                        futures[future] = (job, time.perf_counter())
 
+        submit_ready()
+        while futures:
+            # The timeout keeps the driver responsive to backend
+            # housekeeping that completions alone cannot trigger —
+            # a remote backend expiring the leases of a dead worker
+            # must requeue them even while nothing is finishing.
+            done, _ = wait(futures, timeout=0.2,
+                           return_when=FIRST_COMPLETED)
+            backend.tick()
+            for future in done:
+                job, submitted = futures.pop(future)
+                payload = future.result()
+                # wall_s spans submit -> completion (including any
+                # wait for a free worker); work_s is the body's own
+                # in-worker measurement, the occupancy basis.
+                wall_s = time.perf_counter() - submitted
+                self.running = len(futures)
+                self.emit("job_finish", job, wall_s=wall_s,
+                          work_s=_payload_work_s(payload, wall_s))
+                self.finish(job, payload, cached=False)
             submit_ready()
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    job, submitted = futures.pop(future)
-                    payload = future.result()
-                    # wall_s spans submit -> completion (including any
-                    # wait for a free worker); work_s is the body's own
-                    # in-worker measurement, the occupancy basis.
-                    wall_s = time.perf_counter() - submitted
-                    self.running = len(futures)
-                    self.emit("job_finish", job, wall_s=wall_s,
-                              work_s=_payload_work_s(payload, wall_s))
-                    self.finish(job, payload, cached=False)
-                submit_ready()

@@ -36,27 +36,41 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    fp = record["fp"]
-                    record["kind"], record["payload"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # Interrupted append: tolerate and let the job re-run.
-                    self.dropped_lines += 1
-                    continue
-                self._records[fp] = record
+        # Byte-mode read with per-line decoding (the TelemetryTail
+        # idiom): a process killed mid-append can tear the final line
+        # anywhere, including inside a multi-byte UTF-8 sequence, and
+        # a text-mode iterator would raise UnicodeDecodeError for the
+        # whole file instead of dropping the one torn record.
+        for raw in self.path.read_bytes().split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+                fp = record["fp"]
+                record["kind"], record["payload"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError):
+                # Interrupted append: tolerate and let the job re-run.
+                self.dropped_lines += 1
+                continue
+            self._records[fp] = record
 
     def _append(self, record: dict) -> None:
         if self.path is None:
             return
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            # A file killed mid-append may end without a newline; the
+            # first record appended after a resume must not glue itself
+            # onto the torn tail (losing *both* lines on the next load).
+            torn_tail = False
+            if self.path.exists() and self.path.stat().st_size:
+                with self.path.open("rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    torn_tail = tail.read(1) != b"\n"
             self._handle = self.path.open("a", encoding="utf-8")
+            if torn_tail:
+                self._handle.write("\n")
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())

@@ -29,7 +29,15 @@ of argparse *subcommands* over it, sharing one set of option groups:
   wall-time breakdown, per-ISA opcode-class dispatch mix, counters and
   top cost centers — from the ``cell_profile``/``campaign_profile``
   events a campaign run with ``--profile`` (or ``profile = true`` in
-  the spec) records (:mod:`repro.telemetry.profile`).
+  the spec) records (:mod:`repro.telemetry.profile`);
+* ``serve SPEC... --store S`` runs the distributed campaign
+  coordinator (:mod:`repro.engine.service`): it expands the specs into
+  the ordinary job graph and leases ready jobs over JSON-HTTP to
+  ``worker URL`` processes, which execute them with the standard
+  engine worker functions and push results back; ``submit URL SPEC``
+  queues more campaigns onto a live coordinator. Distributed stores
+  are bit-identical to local ones, and a worker killed mid-campaign is
+  recovered by lease expiry.
 
 Campaigns run on the job-graph execution engine: golden runs are
 shared between figures, ``--workers`` runs whole (GPU, benchmark)
@@ -79,6 +87,9 @@ Examples::
     repro-experiments sweep campaign.toml --axis fault_model=transient,stuck_at \
         --axis seed=0..2 --resume results/sweep.jsonl
     repro-experiments status results/store.jsonl
+    repro-experiments serve campaign.toml --store results/shared.jsonl --port 8642
+    repro-experiments worker http://127.0.0.1:8642
+    repro-experiments submit --url http://127.0.0.1:8642 another.toml
     repro-experiments control --structures simt_stack,predicate_file
     repro-experiments --list-gpus
     repro-experiments --list-fault-models
@@ -368,6 +379,90 @@ def _build_parser() -> argparse.ArgumentParser:
         help="--follow poll interval (default: 2.0)",
     )
 
+    serve_parser = sub.add_parser(
+        "serve", parents=[telemetry],
+        help="run the campaign coordinator: lease jobs to HTTP workers",
+        description="Run the campaign-service coordinator: expand the "
+                    "given spec files into the job graph and lease ready "
+                    "jobs to registered workers over JSON-HTTP, appending "
+                    "validated results to one shared store. Stores are "
+                    "bit-identical to a local process-pool run.")
+    serve_parser.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="TOML/JSON campaign spec file(s) to serve, in order")
+    serve_parser.add_argument(
+        "--store", required=True, metavar="STORE",
+        help="shared persistent result store (JSONL); finished jobs are "
+             "loaded instead of re-leased, so pre-service stores resume "
+             "with zero jobs executed")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; use 0.0.0.0 for a "
+             "multi-host fleet)")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = pick a free one; the chosen URL "
+             "is printed on startup)")
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="seconds a leased job may go without a worker heartbeat "
+             "before it is re-queued (default: the spec's lease_ttl_s, "
+             "or 30)")
+    serve_parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one spec field on every served spec (repeatable)")
+    serve_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-cell progress lines")
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="run one campaign-service worker against a coordinator",
+        description="Run one campaign worker: register with the "
+                    "coordinator, lease ready jobs, execute them with the "
+                    "standard engine worker functions, push the payloads "
+                    "back, and exit when the coordinator finishes.")
+    worker_parser.add_argument(
+        "url", help="coordinator URL, e.g. http://127.0.0.1:8642")
+    worker_parser.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker id reported to the coordinator "
+             "(default: hostname-pid)")
+    worker_parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle poll interval when no job is ready (default: 0.2)")
+    worker_parser.add_argument(
+        "--give-up", type=float, default=30.0, metavar="SECONDS",
+        help="seconds to retry an unreachable coordinator before "
+             "exiting (default: 30)")
+    worker_parser.add_argument(
+        "--segment-store", default=None, metavar="STORE",
+        help="local JSONL segment store: every computed payload is "
+             "appended before the push and replayed on the next start, "
+             "so a worker killed mid-push loses nothing (the "
+             "coordinator merges duplicates idempotently)")
+    worker_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-job progress lines")
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="queue more campaign specs onto a running coordinator",
+        description="POST one or more spec files to a running "
+                    "coordinator's /v1/submit endpoint; they are run "
+                    "after the campaigns already queued.")
+    submit_parser.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="TOML/JSON campaign spec file(s) to queue")
+    submit_parser.add_argument(
+        "--url", default=None,
+        help="coordinator URL (default: the first spec's own "
+             "'coordinator' field)")
+    submit_parser.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="override one spec field on every submitted spec "
+             "(repeatable)")
+
     profile_parser = sub.add_parser(
         "profile",
         help="render the hot-path profiling report for a result store",
@@ -583,7 +678,7 @@ def _scalar_value(key: str, text: str):
             raise ConfigError(
                 f"spec field {key!r}: expected an integer, got {text!r}"
             ) from None
-    if key == "raw_fit_per_bit":
+    if key in ("raw_fit_per_bit", "lease_ttl_s"):
         try:
             return float(text)
         except ValueError:
@@ -856,6 +951,83 @@ def _follow_status(store_path: Path, telemetry_path: Path, *,
         return 0
 
 
+def _main_serve(args) -> int:
+    """``serve SPEC...``: the campaign-service coordinator."""
+    from repro.engine.service import CampaignService
+    specs = []
+    for path in args.specs:
+        spec = CampaignSpec.from_file(path)
+        specs.append(_apply_sets(spec, getattr(args, "set")))
+    store = ResultStore(args.store)
+
+    def on_campaign(spec, result):
+        title = spec.name or spec.describe()
+        print(f"== served campaign {title} ==", file=sys.stderr,
+              flush=True)
+        print(result.stats.summary(), file=sys.stderr, flush=True)
+
+    try:
+        service = CampaignService(
+            store, specs, host=args.host, port=args.port,
+            lease_ttl_s=args.lease_ttl, telemetry=_telemetry_arg(args),
+            profile=_profile_arg(args),
+            progress=None if args.quiet else _progress)
+        print(f"coordinator listening on {service.url} "
+              f"({len(specs)} campaign(s) queued)", flush=True)
+        stats = service.run(on_campaign=on_campaign)
+        print(stats.summary(), file=sys.stderr, flush=True)
+    finally:
+        store.close()
+    return 0
+
+
+def _main_worker(args) -> int:
+    """``worker URL``: one campaign-service fleet member."""
+    from repro.engine.service import CampaignWorker, CoordinatorUnreachable
+    segment = ResultStore(args.segment_store) if args.segment_store \
+        else None
+    worker = CampaignWorker(
+        args.url, worker_id=args.id, poll_s=args.poll,
+        give_up_s=args.give_up, segment_store=segment, quiet=args.quiet)
+    try:
+        counters = worker.run()
+    except CoordinatorUnreachable as error:
+        raise ConfigError(str(error)) from None
+    finally:
+        if segment is not None:
+            segment.close()
+    print(f"worker {worker.worker_id}: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(counters.items())),
+          file=sys.stderr, flush=True)
+    return 0
+
+
+def _main_submit(args) -> int:
+    """``submit SPEC...``: queue specs onto a running coordinator."""
+    from repro.engine.service import CoordinatorClient, protocol
+    specs = []
+    for path in args.specs:
+        spec = CampaignSpec.from_file(path)
+        specs.append((path, _apply_sets(spec, getattr(args, "set"))))
+    url = args.url or next(
+        (spec.coordinator for _, spec in specs
+         if spec.coordinator is not None), None)
+    if url is None:
+        raise ConfigError(
+            "submit needs a coordinator: give --url, or set the "
+            "'coordinator' field in a spec file")
+    client = CoordinatorClient(url)
+    for path, spec in specs:
+        response = client.post(protocol.SUBMIT_PATH,
+                               {"spec": spec.to_dict()})
+        if not response.get("ok"):
+            raise ConfigError(
+                f"coordinator rejected {path}: "
+                f"{response.get('error', 'unknown error')}")
+        print(f"queued {response.get('queued', path)} on {url}")
+    return 0
+
+
 def _main_profile(args) -> int:
     """``profile STORE``: the hot-path profiling report."""
     from repro.telemetry import (
@@ -907,7 +1079,8 @@ def main(argv=None) -> int:
     if args.command is None:
         print("error: an experiment "
               f"({'|'.join((*sorted(_EXPERIMENTS), 'all'))}) or a "
-              "subcommand (run|sweep|status|profile) is required unless "
+              "subcommand (run|sweep|status|profile|serve|worker|submit) "
+              "is required unless "
               "--list-gpus/--list-workloads/--list-fault-models/"
               "--list-structures is given",
               file=sys.stderr)
@@ -924,6 +1097,12 @@ def main(argv=None) -> int:
             return _main_status(args)
         if args.command == "profile":
             return _main_profile(args)
+        if args.command == "serve":
+            return _main_serve(args)
+        if args.command == "worker":
+            return _main_worker(args)
+        if args.command == "submit":
+            return _main_submit(args)
         return _main_figures(args)
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -140,6 +140,16 @@ class CampaignSpec:
     #: checkpointing enabled; derived state like checkpoints — results
     #: bit-identical on or off, never part of any job fingerprint.
     suffix_memo: bool | None = None
+    #: Campaign-service coordinator URL (``http://host:port``) this
+    #: spec is meant to run against — the default target of
+    #: ``repro-experiments submit``. An execution resource like
+    #: ``backend``: never part of any job fingerprint, and a
+    #: distributed store is bit-identical to a local one.
+    coordinator: str | None = None
+    #: Campaign-service lease TTL in seconds: how long a leased job may
+    #: go without a worker heartbeat before the coordinator re-queues
+    #: it. None = the service default (30s). Fingerprint-transparent.
+    lease_ttl_s: int | float | None = None
     #: Optional human-readable label (spec files, sweep tables). Not
     #: part of any job fingerprint.
     name: str | None = None
@@ -249,6 +259,25 @@ class CampaignSpec:
             raise _field_error(
                 "suffix_memo",
                 f"expected true/false, got {self.suffix_memo!r}")
+        if self.coordinator is not None:
+            if not isinstance(self.coordinator, str) \
+                    or not self.coordinator.startswith(("http://",
+                                                        "https://")):
+                raise _field_error(
+                    "coordinator",
+                    f"expected a coordinator URL like http://host:port, "
+                    f"got {self.coordinator!r}")
+        if self.lease_ttl_s is not None:
+            if isinstance(self.lease_ttl_s, bool) \
+                    or not isinstance(self.lease_ttl_s, (int, float)):
+                raise _field_error(
+                    "lease_ttl_s",
+                    f"expected a number of seconds, got "
+                    f"{self.lease_ttl_s!r}")
+            if self.lease_ttl_s <= 0:
+                raise _field_error(
+                    "lease_ttl_s",
+                    f"must be > 0, got {self.lease_ttl_s}")
         if self.name is not None and not isinstance(self.name, str):
             raise _field_error(
                 "name", f"expected a string, got {self.name!r}")

@@ -63,6 +63,15 @@ class CampaignStatus:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_collisions: int = 0
+    #: campaign-service fleet counters (all zero on local campaigns):
+    #: distinct registered worker ids and the lease/push traffic the
+    #: coordinator's state machine processed.
+    fleet_workers: set = field(default_factory=set)
+    leases_granted: int = 0
+    leases_expired: int = 0
+    pushes_ok: int = 0
+    pushes_duplicate: int = 0
+    pushes_rejected: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -168,6 +177,20 @@ def aggregate_events(events: list[dict]) -> CampaignStatus:
             status.injections += int(event.get("injections", 0))
             status.resimulated += int(event.get("resimulated", 0))
             status.fi_time_s += float(event.get("fi_time_s", 0.0))
+        elif etype == "worker_register":
+            status.fleet_workers.add(event.get("worker"))
+        elif etype == "lease_grant":
+            status.leases_granted += 1
+            status.fleet_workers.add(event.get("worker"))
+        elif etype == "lease_expire":
+            status.leases_expired += 1
+        elif etype == "job_push":
+            if not event.get("ok"):
+                status.pushes_rejected += 1
+            elif event.get("duplicate"):
+                status.pushes_duplicate += 1
+            else:
+                status.pushes_ok += 1
         elif etype in ("cell_profile", "campaign_profile"):
             profile = event.get("profile")
             counters = (profile.get("counters")
@@ -308,6 +331,13 @@ def format_status(store_path, store_counts: dict, status: CampaignStatus,
             if status.memo_collisions:
                 fast += f", {status.memo_collisions} digest collisions"
         lines.append(fast)
+    if status.fleet_workers or status.leases_granted:
+        fleet = (f"fleet: {len(status.fleet_workers)} worker(s) — "
+                 f"{status.leases_granted} leases granted, "
+                 f"{status.leases_expired} expired; pushes: "
+                 f"{status.pushes_ok} ok, {status.pushes_duplicate} "
+                 f"duplicate, {status.pushes_rejected} rejected")
+        lines.append(fleet)
     if status.in_progress:
         eta = status.eta_s
         lines.append(f"ETA: ~{_duration(eta)} at the current cell rate"

@@ -51,6 +51,25 @@ class TestResultStore:
         assert reloaded.dropped_lines == 1
         assert "fp1" in reloaded and "fp2" not in reloaded
 
+    def test_tail_torn_inside_utf8_sequence_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        good = json.dumps({"fp": "fp1", "kind": "golden",
+                           "payload": {"cycles": 1}})
+        # A record torn mid-multi-byte sequence ('é' loses its second
+        # byte): the tail is not even valid UTF-8, so a text-mode
+        # reader would raise UnicodeDecodeError for the whole file
+        # instead of dropping the one torn line.
+        torn = '{"fp": "fp2", "kind": "cell", "payload": {"w": "café'
+        path.write_bytes(good.encode("utf-8") + b"\n" +
+                         torn.encode("utf-8")[:-1])
+        reloaded = ResultStore(path)
+        assert reloaded.dropped_lines == 1
+        assert "fp1" in reloaded and "fp2" not in reloaded
+        # The surviving store keeps appending normally.
+        with reloaded:
+            reloaded.put("fp3", "golden", {"cycles": 3})
+        assert "fp3" in ResultStore(path)
+
     def test_non_record_line_is_skipped(self, tmp_path):
         path = tmp_path / "store.jsonl"
         path.write_text('{"fp": "x"}\n[1, 2]\n')

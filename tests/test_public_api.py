@@ -23,6 +23,9 @@ def test_key_surfaces_are_exported():
         # campaign API
         "CampaignSpec", "run_campaign", "run_sweep", "run_cell",
         "run_matrix", "ResultStore", "cell_fingerprints",
+        # distributed campaign service
+        "CampaignService", "CampaignWorker", "RemoteBackend",
+        "ExecutionBackend", "CoordinatorUnreachable",
         # observability
         "TelemetrySink", "MemoryTelemetrySink", "JsonlTelemetrySink",
         "CallbackTelemetrySink", "TelemetryHub", "load_telemetry",
